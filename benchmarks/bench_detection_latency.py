@@ -1,0 +1,63 @@
+"""Failure/completion detection latency through the status pipeline.
+
+§II requires "periodic and accurate status updates"; §III.e-f build the
+pipeline learner-files -> controller -> ETCD -> Guardian -> MongoDB.
+This bench measures its end-to-end latency: from the learner writing
+its exit code on NFS to the user-visible job status flipping in
+MongoDB, for both orderly completion and orderly failure.
+
+The expected budget: controller poll (0.5s) + Raft commit (~10ms) +
+Guardian monitor interval (1s) + Mongo write — so detection should sit
+comfortably under 3 seconds.
+"""
+
+from repro.bench import bench_manifest, build_platform, render_table
+
+COLUMNS = ["terminal event", "runs", "min s", "mean s", "max s", "budget"]
+
+
+def measure(kind, runs=4, seed=6):
+    samples = []
+    for index in range(runs):
+        platform = build_platform("k80", gpus_per_node=4, seed=seed + index)
+        client = platform.client("detect")
+        manifest = bench_manifest("resnet50", "tensorflow", 1, "k80", steps=40)
+        if kind == "FAILED":
+            manifest["extra"] = {"fail_at_step": 20}
+
+        job_id, doc = platform.run_process(
+            client.run_to_completion(manifest, timeout=50_000), limit=200_000
+        )
+        exit_record = platform.tracer.first(component="learner-0",
+                                            kind="learner-exit", job=job_id)
+        status_flip = next(
+            r for r in platform.tracer.query(component="guardian",
+                                             kind="status-update")
+            if r.fields["job"] == job_id
+            and r.fields["status"] in ("FAILED", "STORING")
+        )
+        samples.append(status_flip.time - exit_record.time)
+    return {
+        "terminal event": kind,
+        "runs": runs,
+        "min s": min(samples),
+        "mean s": sum(samples) / len(samples),
+        "max s": max(samples),
+        "budget": "< 3s",
+    }
+
+
+def test_detection_latency(benchmark, record_table):
+    def run_both():
+        return [measure("COMPLETED"), measure("FAILED")]
+
+    rows = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    table = render_table(
+        "Status-pipeline detection latency (learner exit -> MongoDB status)",
+        COLUMNS, rows,
+    )
+    record_table("detection_latency", table)
+
+    for row in rows:
+        assert 0.0 < row["min s"]
+        assert row["max s"] < 3.0

@@ -1,0 +1,90 @@
+"""Extension bench — elasticity via the cluster autoscaler.
+
+The paper's platform goals include elasticity. A burst of jobs beyond
+the fixed pool's capacity either queues (fixed cluster) or triggers
+node provisioning (autoscaled cluster, paying a realistic VM boot
+delay). Measures per-job queue time and burst makespan.
+"""
+
+from repro.bench import render_table
+from repro.core import DlaasPlatform, PlatformConfig
+
+CREDS = {"access_key": "AK", "secret": "SK"}
+
+COLUMNS = ["cluster", "jobs", "completed", "mean wait s", "max wait s",
+           "burst makespan s", "nodes provisioned"]
+
+
+def _manifest(name):
+    return {
+        "name": name, "framework": "tensorflow", "model": "resnet50",
+        "learners": 1, "gpus_per_learner": 4, "gpu_type": "k80",
+        "target_steps": 100, "checkpoint_interval": 0.0,
+        "dataset_size_mb": 100,
+        "data": {"bucket": "train-data", "credentials": CREDS},
+        "results": {"bucket": "results", "credentials": CREDS},
+    }
+
+
+def run_burst(autoscaled, jobs=6):
+    platform = DlaasPlatform(
+        seed=21,
+        config=PlatformConfig(gpu_nodes=1, gpus_per_node=4, management_nodes=2),
+    )
+    autoscaler = None
+    if autoscaled:
+        autoscaler = platform.enable_autoscaler(max_nodes=6, boot_time=60.0,
+                                                idle_timeout=120.0)
+    platform.start()
+    platform.seed_training_data("train-data", CREDS, size_mb=100)
+    platform.ensure_results_bucket("results", CREDS)
+    client = platform.client("burst")
+
+    def scenario():
+        ids = []
+        for i in range(jobs):
+            ids.append((yield from client.submit(_manifest(f"burst-{i}"))))
+        docs = []
+        for job_id in ids:
+            docs.append((yield from client.wait_for_status(job_id,
+                                                           timeout=100_000)))
+        return docs
+
+    start = platform.kernel.now
+    docs = platform.run_process(scenario(), limit=500_000)
+    makespan = platform.kernel.now - start
+    # Wait = submission to first training step (QUEUED -> PROCESSING):
+    # the user-visible queueing cost of an overloaded pool.
+    waits = []
+    for doc in docs:
+        history = {h["status"]: h["time"] for h in doc["status_history"]}
+        waits.append(history["PROCESSING"] - history["QUEUED"])
+    return {
+        "cluster": "autoscaled" if autoscaled else "fixed (1 node)",
+        "jobs": jobs,
+        "completed": sum(1 for d in docs if d["status"] == "COMPLETED"),
+        "mean wait s": sum(waits) / len(waits),
+        "max wait s": max(waits),
+        "burst makespan s": makespan,
+        "nodes provisioned": autoscaler.scale_ups if autoscaler else 0,
+    }
+
+
+def test_elasticity(benchmark, record_table):
+    def run_both():
+        return [run_burst(False), run_burst(True)]
+
+    rows = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    table = render_table(
+        "Elasticity extension: 6-job burst of 4-GPU jobs on a 4-GPU pool",
+        COLUMNS, rows,
+    )
+    record_table("elasticity", table)
+
+    fixed, elastic = rows
+    assert fixed["completed"] == elastic["completed"] == 6
+    assert elastic["nodes provisioned"] >= 1
+    # Elasticity shortens the burst: jobs run in parallel on new nodes
+    # instead of serializing behind the single fixed node.
+    assert elastic["burst makespan s"] < fixed["burst makespan s"]
+    assert elastic["max wait s"] < fixed["max wait s"]

@@ -1,0 +1,83 @@
+"""Extension bench — gang scheduling for synchronous distributed jobs.
+
+Multi-learner jobs block at MPI wire-up (paper §II: deployment involves
+"setting up network (MPI) interconnections") until every learner runs.
+Scenario on a 4-GPU node: job A (3 learners) trains; job B (3 learners)
+queues; one of A's learners is crashed. Without gang scheduling, B's
+first learner holds the freed GPU at the barrier and A's replacement
+can never place — a cross-job deadlock. With gang scheduling, partial
+placement is refused and both jobs complete.
+"""
+
+from repro.bench import render_table
+from repro.core import ComponentCrasher, DlaasPlatform, PlatformConfig
+
+CREDS = {"access_key": "AK", "secret": "SK"}
+
+COLUMNS = ["gang scheduling", "job A", "job B", "GPUs stuck allocated"]
+
+
+def _distributed_manifest(name, steps):
+    return {
+        "name": name, "framework": "horovod", "model": "resnet50",
+        "learners": 3, "gpus_per_learner": 1, "gpu_type": "k80",
+        "target_steps": steps, "checkpoint_interval": 15.0,
+        "dataset_size_mb": 100,
+        "data": {"bucket": "train-data", "credentials": CREDS},
+        "results": {"bucket": "results", "credentials": CREDS},
+    }
+
+
+def run_scenario(gang_scheduling):
+    platform = DlaasPlatform(
+        seed=7,
+        config=PlatformConfig(gpu_nodes=1, gpus_per_node=4, management_nodes=2,
+                              gang_scheduling=gang_scheduling),
+    ).start()
+    platform.seed_training_data("train-data", CREDS, size_mb=100)
+    platform.ensure_results_bucket("results", CREDS)
+    client = platform.client("bench")
+
+    def submit():
+        job_a = yield from client.submit(_distributed_manifest("job-a", 600))
+        yield from client.wait_for_status(job_a, statuses={"PROCESSING"},
+                                          timeout=2000)
+        job_b = yield from client.submit(_distributed_manifest("job-b", 120))
+        return job_a, job_b
+
+    job_a, job_b = platform.run_process(submit(), limit=10_000)
+    platform.run_for(30.0)
+    ComponentCrasher(platform).crash_learner(job_a, ordinal=1)
+    platform.run_for(1500.0)  # ample time for both jobs on a healthy path
+
+    def statuses():
+        a = yield from client.status(job_a)
+        b = yield from client.status(job_b)
+        return a["status"], b["status"]
+
+    status_a, status_b = platform.run_process(statuses(), limit=600)
+    return {
+        "gang scheduling": "on" if gang_scheduling else "off",
+        "job A": status_a,
+        "job B": status_b,
+        "GPUs stuck allocated": platform.k8s.capacity_summary()["gpus_allocated"],
+    }
+
+
+def test_gang_scheduling_prevents_deadlock(benchmark, record_table):
+    def run_both():
+        return [run_scenario(False), run_scenario(True)]
+
+    rows = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    table = render_table(
+        "Gang scheduling extension: crash + queued distributed job (4 GPUs)",
+        COLUMNS, rows,
+    )
+    record_table("gang_scheduling", table)
+
+    without, with_gang = rows
+    assert without["job A"] != "COMPLETED" and without["job B"] != "COMPLETED"
+    assert without["GPUs stuck allocated"] == 4  # deadlocked forever
+    assert with_gang["job A"] == "COMPLETED"
+    assert with_gang["job B"] == "COMPLETED"
+    assert with_gang["GPUs stuck allocated"] == 0

@@ -1,0 +1,29 @@
+"""Ablation — GPU bin-packing vs spread scheduling.
+
+The platform layer must keep placing 1-4 GPU learners densely (§III.b,
+§IV capacity). After half the cluster fills with 1-GPU pods, a spread
+scheduler has fragmented every node and cannot place any 4-GPU learner;
+bin-packing leaves whole nodes free.
+"""
+
+from repro.bench import render_table, scheduler_rows
+
+COLUMNS = ["strategy", "1-GPU pods", "4-GPU pods placed", "4-GPU pods stuck"]
+
+
+def test_scheduler_fragmentation(benchmark, record_table):
+    rows = benchmark.pedantic(
+        scheduler_rows, kwargs={"nodes": 8, "gpus_per_node": 4},
+        rounds=1, iterations=1,
+    )
+    table = render_table(
+        "Scheduler ablation: bin-packing vs spread (8 nodes x 4 GPUs)",
+        COLUMNS, rows,
+    )
+    record_table("scheduler", table)
+
+    binpack = next(r for r in rows if r["strategy"] == "binpack")
+    spread = next(r for r in rows if r["strategy"] == "spread")
+    assert binpack["4-GPU pods placed"] > spread["4-GPU pods placed"]
+    assert binpack["4-GPU pods placed"] >= 4  # half the cluster stayed whole
+    assert spread["4-GPU pods placed"] == 0  # every node fragmented

@@ -1,0 +1,24 @@
+"""Benchmark-suite helpers.
+
+Every benchmark regenerates one table/figure, prints it, and archives it
+under ``bench_results/`` so the run leaves reviewable artifacts even
+when pytest captures stdout.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "bench_results"
+
+
+@pytest.fixture
+def record_table():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(name, text):
+        print()
+        print(text)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _record

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Distributed training: Horovod learners as a StatefulSet.
+
+Shows the multi-learner path the paper motivates (§II, §III.e): N
+learners with stable identities synchronizing gradients, scheduled onto
+GPU nodes by the bin-packing scheduler, with per-learner statuses
+visible through the API while the job runs. Also prints the measured
+scaling curve so the 1GbE inter-node penalty is visible.
+
+Run:  python examples/distributed_training.py
+"""
+
+from repro import DlaasPlatform
+from repro.core import PlatformConfig
+
+CREDENTIALS = {"access_key": "AK", "secret": "SK"}
+
+
+def run_job(platform, client, learners, steps=150):
+    manifest = {
+        "name": f"resnet50-x{learners}",
+        "framework": "horovod",
+        "model": "resnet50",
+        "learners": learners,
+        "gpus_per_learner": 1,
+        "gpu_type": "p100-pcie",
+        "target_steps": steps,
+        "checkpoint_interval": 120.0,
+        "dataset_size_mb": 800,
+        "data": {"bucket": "train", "credentials": CREDENTIALS},
+        "results": {"bucket": "out", "credentials": CREDENTIALS},
+    }
+
+    def scenario():
+        job_id = yield from client.submit(manifest)
+        # Peek at per-learner statuses mid-flight.
+        yield from client.wait_for_status(job_id, statuses={"PROCESSING"},
+                                          timeout=2000)
+        doc = yield from client.status(job_id)
+        mid_flight = dict(doc["learners"])
+        final = yield from client.wait_for_status(job_id, timeout=20_000)
+        return job_id, mid_flight, final
+
+    return platform.run_process(scenario(), limit=100_000)
+
+
+def processing_seconds(doc):
+    history = {h["status"]: h["time"] for h in doc["status_history"]}
+    return history["STORING"] - history["PROCESSING"]
+
+
+def main():
+    platform = DlaasPlatform(
+        seed=7,
+        config=PlatformConfig(gpu_nodes=4, gpus_per_node=2, gpu_type="p100-pcie"),
+    ).start()
+    platform.seed_training_data("train", CREDENTIALS, size_mb=800)
+    platform.ensure_results_bucket("out", CREDENTIALS)
+    client = platform.client("dist-team")
+
+    steps = 150
+    batch_per_gpu = 64  # resnet50 default in the performance model
+    print(f"{'learners':>9} {'status':>10} {'train time':>11} "
+          f"{'images/sec':>11} {'scaling':>8}")
+    baseline_ips = None
+    last_mid_flight = None
+    for learners in (1, 2, 4):
+        job_id, mid_flight, final = run_job(platform, client, learners, steps)
+        seconds = processing_seconds(final)
+        images = steps * batch_per_gpu * learners
+        ips = images / seconds
+        if baseline_ips is None:
+            baseline_ips = ips
+        print(f"{learners:>9} {final['status']:>10} {seconds:>10.1f}s "
+              f"{ips:>11.1f} {ips / baseline_ips:>7.2f}x")
+        last_mid_flight = mid_flight
+
+    print("\nper-learner statuses observed mid-training (4-learner job):")
+    for name, report in sorted((last_mid_flight or {}).items()):
+        print(f"  {name}: {report['status']} (step {report['step']})")
+
+    print("\nAggregate throughput barely scales: every step ships ~100MB of")
+    print("ResNet-50 gradients across the 1GbE fabric between learners —")
+    print("exactly the data-center network pressure the paper's §II describes")
+    print("(and why DLaaS clusters want Infiniband/NVLink for distributed jobs).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Hyper-parameter sweep: the workflow DLaaS exists to serve.
+
+The paper's introduction: DLaaS lets developers "focus on training
+neural nets and choosing hyper-parameters rather than focusing on
+installation, configuration and fault tolerance." This example runs a
+learning-rate sweep as parallel platform jobs, compares final losses,
+and picks a winner — with the platform handling placement, status,
+checkpointing and recovery underneath.
+
+Run:  python examples/hyperparameter_sweep.py
+"""
+
+from repro import DlaasPlatform
+from repro.core import PlatformConfig
+
+CREDENTIALS = {"access_key": "AK", "secret": "SK"}
+
+LEARNING_RATES = [0.002, 0.01, 0.05, 0.2, 0.8]
+
+
+def main():
+    platform = DlaasPlatform(
+        seed=31,
+        config=PlatformConfig(gpu_nodes=3, gpus_per_node=2, gpu_type="k80"),
+    ).start()
+    platform.seed_training_data("sweep-data", CREDENTIALS, size_mb=200)
+    platform.ensure_results_bucket("sweep-results", CREDENTIALS)
+    client = platform.client("sweep-team")
+
+    def sweep():
+        job_ids = {}
+        for lr in LEARNING_RATES:
+            manifest = {
+                "name": f"resnet50-lr{lr}",
+                "framework": "tensorflow",
+                "model": "resnet50",
+                "learners": 1,
+                "gpus_per_learner": 1,
+                "gpu_type": "k80",
+                "target_steps": 400,
+                "checkpoint_interval": 120.0,
+                "dataset_size_mb": 200,
+                "learning_rate": lr,
+                "data": {"bucket": "sweep-data", "credentials": CREDENTIALS},
+                "results": {"bucket": "sweep-results", "credentials": CREDENTIALS},
+            }
+            job_ids[lr] = yield from client.submit(manifest)
+        results = {}
+        for lr, job_id in job_ids.items():
+            yield from client.wait_for_status(job_id, timeout=50_000)
+            yield platform.kernel.sleep(5.0)  # metrics land right after
+            doc = yield from client.status(job_id)
+            results[lr] = doc
+        return results
+
+    results = platform.run_process(sweep(), limit=500_000)
+
+    print(f"{'learning rate':>14} {'status':>10} {'final loss':>11} "
+          f"{'img/s':>8} {'gpu-sec':>8}")
+    for lr in LEARNING_RATES:
+        doc = results[lr]
+        metrics = doc["metrics"] or {}
+        print(f"{lr:>14} {doc['status']:>10} "
+              f"{metrics.get('final_loss', float('nan')):>11.4f} "
+              f"{metrics.get('images_per_sec', 0):>8.1f} "
+              f"{metrics.get('gpu_seconds', 0):>8.0f}")
+
+    best_lr = min(
+        (lr for lr in LEARNING_RATES if results[lr]["metrics"]),
+        key=lambda lr: results[lr]["metrics"]["final_loss"],
+    )
+    print(f"\nwinner: lr={best_lr} "
+          f"(final loss {results[best_lr]['metrics']['final_loss']:.4f})")
+    print("note the shape: too-small rates converge slowly, the mid-range")
+    print("wins, and the largest rate diverges — all five jobs shared the")
+    print("cluster, queued as capacity allowed, and were individually")
+    print("checkpointed and crash-recoverable.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Quickstart: boot the platform, train one model, read the results.
+
+Walks Figure 1 of the paper end to end: the client submits a manifest
+to the API (stored durably in MongoDB before the ack), the LCM creates
+a Guardian, the Guardian deploys the helper pod and learner, statuses
+flow NFS -> controller -> ETCD -> Guardian -> MongoDB, and results land
+in the object store.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import DlaasPlatform
+from repro.core import PlatformConfig
+
+CREDENTIALS = {"access_key": "AKIA-EXAMPLE", "secret": "s3cr3t"}
+
+
+def main():
+    print("=== booting DLaaS (simulated) ===")
+    platform = DlaasPlatform(
+        seed=2018,
+        config=PlatformConfig(gpu_nodes=2, gpus_per_node=4, gpu_type="k80"),
+    ).start()
+    print(f"control plane ready at t={platform.kernel.now:.1f}s "
+          f"(api={list(platform.api_balancer.endpoints)})")
+
+    # Stage training data the way a user would: a bucket in the cloud
+    # object store, reachable with the credentials in the manifest.
+    platform.seed_training_data("imagenet-subset", CREDENTIALS, size_mb=500)
+    platform.ensure_results_bucket("team-results", CREDENTIALS)
+
+    client = platform.client(tenant="quickstart-team")
+    manifest = {
+        "name": "resnet50-demo",
+        "framework": "tensorflow",
+        "model": "resnet50",
+        "learners": 1,
+        "gpus_per_learner": 1,
+        "gpu_type": "k80",
+        "target_steps": 400,
+        "checkpoint_interval": 60.0,
+        "dataset_size_mb": 500,
+        "data": {"bucket": "imagenet-subset", "credentials": CREDENTIALS},
+        "results": {"bucket": "team-results", "credentials": CREDENTIALS},
+    }
+
+    def scenario():
+        job_id = yield from client.submit(manifest)
+        print(f"submitted {job_id}")
+        doc = yield from client.wait_for_status(job_id, timeout=10_000)
+        return job_id, doc
+
+    job_id, doc = platform.run_process(scenario(), limit=50_000)
+
+    print(f"\n=== {job_id}: {doc['status']} ===")
+    print("status history (simulated seconds):")
+    for entry in doc["status_history"]:
+        print(f"  {entry['time']:9.1f}s  {entry['status']}")
+
+    def tail():
+        return (yield from client.logs(job_id, tail=5))
+
+    print("\nlast log lines:")
+    for line in platform.run_process(tail(), limit=600):
+        print(f"  {line}")
+
+    keys = platform.object_store.list_objects("team-results", CREDENTIALS,
+                                              prefix=job_id)
+    print(f"\nartifacts in object store ({len(keys)}):")
+    for key in keys:
+        print(f"  {key}")
+
+    def usage():
+        return (yield from client.usage())
+
+    report = platform.run_process(usage(), limit=600)
+    print(f"\nmetering: {report['jobs_submitted']} job(s), "
+          f"{report['api_calls_total']} API calls")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""Table rendering for benchmark results: paper-vs-measured."""
+
+
+def render_table(title, columns, rows):
+    """Plain-text table; ``rows`` are dicts keyed by column name."""
+    widths = {
+        col: max(len(col), *(len(_fmt(row.get(col))) for row in rows)) if rows
+        else len(col)
+        for col in columns
+    }
+    lines = [title, "-" * len(title)]
+    header = "  ".join(col.ljust(widths[col]) for col in columns)
+    lines.append(header)
+    lines.append("  ".join("-" * widths[col] for col in columns))
+    for row in rows:
+        lines.append(
+            "  ".join(_fmt(row.get(col)).ljust(widths[col]) for col in columns)
+        )
+    return "\n".join(lines)
+
+
+def _fmt(value):
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def shape_check(label, measured, low, high):
+    """One-line verdict on whether a measured value falls in the paper's band."""
+    verdict = "OK " if low <= measured <= high else "OUT"
+    return f"  [{verdict}] {label}: measured {measured:.2f} vs paper band [{low}, {high}]"

@@ -1,0 +1,119 @@
+"""The cluster API server: resource stores, watches, events.
+
+Controllers and kubelets coordinate exclusively through here, mirroring
+the real architecture: declarative resources in a store, reconciled by
+loops that never talk to each other directly.
+"""
+
+from ..sim.channels import Channel
+from .errors import ConflictError, NotFoundError
+
+
+class ClusterEvent:
+    """A recorded cluster event (kubectl get events)."""
+
+    __slots__ = ("time", "kind", "name", "reason", "message")
+
+    def __init__(self, time, kind, name, reason, message):
+        self.time = time
+        self.kind = kind
+        self.name = name
+        self.reason = reason
+        self.message = message
+
+    def __repr__(self):
+        return f"<Event {self.time:.2f} {self.kind}/{self.name} {self.reason}>"
+
+
+class ApiServer:
+    """Typed, namespaced resource stores with watch channels."""
+
+    def __init__(self, kernel, tracer=None):
+        self.kernel = kernel
+        self.tracer = tracer
+        self._stores = {}
+        self._watchers = {}
+        self.events = []
+
+    def _store(self, kind):
+        return self._stores.setdefault(kind, {})
+
+    # ------------------------------------------------------------------
+    # CRUD
+    # ------------------------------------------------------------------
+
+    def create(self, resource):
+        store = self._store(resource.kind)
+        key = resource.metadata.key
+        if key in store:
+            raise ConflictError(f"{resource.kind} {key} already exists")
+        resource.metadata.creation_time = self.kernel.now
+        resource.metadata.resource_version = 1
+        store[key] = resource
+        self._notify(resource.kind, "ADDED", resource)
+        return resource
+
+    def get(self, kind, name, namespace="default"):
+        resource = self._store(kind).get((namespace, name))
+        if resource is None:
+            raise NotFoundError(f"{kind} {namespace}/{name}")
+        return resource
+
+    def get_or_none(self, kind, name, namespace="default"):
+        return self._store(kind).get((namespace, name))
+
+    def list(self, kind, namespace=None, selector=None):
+        out = []
+        for resource in self._store(kind).values():
+            if namespace is not None and resource.metadata.namespace != namespace:
+                continue
+            if selector is not None and not all(
+                resource.metadata.labels.get(k) == v for k, v in selector.items()
+            ):
+                continue
+            out.append(resource)
+        out.sort(key=lambda r: (r.metadata.creation_time or 0.0, r.metadata.name))
+        return out
+
+    def update(self, resource):
+        store = self._store(resource.kind)
+        key = resource.metadata.key
+        if key not in store:
+            raise NotFoundError(f"{resource.kind} {key}")
+        resource.metadata.resource_version += 1
+        self._notify(resource.kind, "MODIFIED", resource)
+        return resource
+
+    def delete(self, kind, name, namespace="default"):
+        store = self._store(kind)
+        resource = store.pop((namespace, name), None)
+        if resource is None:
+            raise NotFoundError(f"{kind} {namespace}/{name}")
+        self._notify(kind, "DELETED", resource)
+        return resource
+
+    def exists(self, kind, name, namespace="default"):
+        return (namespace, name) in self._store(kind)
+
+    # ------------------------------------------------------------------
+    # Watches & events
+    # ------------------------------------------------------------------
+
+    def watch(self, kind):
+        """A channel receiving (event_type, resource) for ``kind``."""
+        channel = Channel(self.kernel, name=f"watch:{kind}")
+        self._watchers.setdefault(kind, []).append(channel)
+        return channel
+
+    def _notify(self, kind, event_type, resource):
+        for channel in self._watchers.get(kind, []):
+            if not channel.closed:
+                channel.put((event_type, resource))
+
+    def record_event(self, kind, name, reason, message=""):
+        event = ClusterEvent(self.kernel.now, kind, name, reason, message)
+        self.events.append(event)
+        if self.tracer is not None:
+            self.tracer.emit("apiserver", "k8s-event", resource=kind, name=name,
+                             reason=reason, message=message)
+        return event

@@ -1,0 +1,21 @@
+"""Errors for the Kubernetes simulator."""
+
+
+class ClusterError(Exception):
+    """Base class for cluster errors."""
+
+
+class NotFoundError(ClusterError):
+    """No such resource."""
+
+
+class ConflictError(ClusterError):
+    """Create collided with an existing resource, or a stale update."""
+
+
+class UnschedulableError(ClusterError):
+    """No node can satisfy the pod's resource requests."""
+
+
+class InvalidResource(ClusterError):
+    """Resource specification failed validation."""

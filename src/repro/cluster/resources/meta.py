@@ -1,0 +1,34 @@
+"""Object metadata, labels and selectors."""
+
+import itertools
+
+_uid_counter = itertools.count(1)
+
+
+class ObjectMeta:
+    """Name/namespace/labels/uid for every cluster resource."""
+
+    def __init__(self, name, namespace="default", labels=None, annotations=None,
+                 owner=None):
+        if not name:
+            raise ValueError("resources need a name")
+        self.name = name
+        self.namespace = namespace
+        self.labels = dict(labels or {})
+        self.annotations = dict(annotations or {})
+        self.owner = owner  # (kind, name) of the controller that made this
+        self.uid = f"uid-{next(_uid_counter)}"
+        self.creation_time = None  # stamped by the API server
+        self.resource_version = 0
+
+    @property
+    def key(self):
+        return (self.namespace, self.name)
+
+    def __repr__(self):
+        return f"<ObjectMeta {self.namespace}/{self.name}>"
+
+
+def selector_matches(selector, labels):
+    """True if every (k, v) in ``selector`` appears in ``labels``."""
+    return all(labels.get(key) == value for key, value in selector.items())

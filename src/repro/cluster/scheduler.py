@@ -1,0 +1,217 @@
+"""The GPU-aware pod scheduler.
+
+Reconcile loop: finds unbound pending pods, filters nodes by readiness,
+GPU type, node selector and free resources, then bin-packs onto the
+most-allocated feasible node (consolidating GPU fragments so large
+multi-GPU jobs can still place — the paper's platform layer must place
+1–4 GPU learners densely).
+"""
+
+
+class Scheduler:
+    """Binds pending pods to nodes."""
+
+    STRATEGIES = ("binpack", "spread")
+
+    def __init__(self, kernel, api, interval=0.1, tracer=None, strategy="binpack",
+                 preemption=True):
+        if strategy not in self.STRATEGIES:
+            raise ValueError(f"unknown strategy {strategy!r}")
+        self.kernel = kernel
+        self.api = api
+        self.interval = interval
+        self.tracer = tracer
+        self.strategy = strategy
+        self.preemption = preemption
+        self.alive = False
+        self._proc = None
+        self.scheduled_count = 0
+        self.preemptions = 0
+
+    def start(self):
+        if self.alive:
+            return self
+        self.alive = True
+        self._proc = self.kernel.spawn(self._loop(), name="scheduler")
+        return self
+
+    def stop(self):
+        self.alive = False
+        if self._proc is not None:
+            self._proc.kill("scheduler stopped")
+            self._proc = None
+        return self
+
+    def _loop(self):
+        while self.alive:
+            self.schedule_once()
+            yield self.kernel.sleep(self.interval)
+
+    def schedule_once(self):
+        """One reconcile pass; returns how many pods were bound.
+
+        Gang-aware: pods sharing ``spec.gang`` are bound all-or-nothing
+        when a full gang (``gang_size`` members) is pending together.
+        A partially-pending gang (e.g. one crashed learner being
+        replaced while its siblings run) schedules member-by-member.
+        """
+        pending = [
+            pod for pod in self.api.list("Pod")
+            if pod.phase == "Pending" and pod.node_name is None
+            and not pod.deletion_requested
+        ]
+        if not pending:
+            return 0
+        pending.sort(key=lambda p: (-p.spec.priority, p.metadata.creation_time or 0.0))
+        nodes = self.api.list("Node", namespace="")
+        gang_members = {}
+        for pod in pending:
+            if pod.spec.gang is not None:
+                gang_members.setdefault(pod.spec.gang, []).append(pod)
+
+        bound = 0
+        scheduled_gangs = set()
+        for pod in pending:
+            gang = pod.spec.gang
+            if gang is not None and len(gang_members[gang]) >= pod.spec.gang_size:
+                if gang in scheduled_gangs:
+                    continue
+                scheduled_gangs.add(gang)
+                bound += self._bind_gang(gang_members[gang], nodes)
+                continue
+            bound += self._bind_one(pod, nodes)
+        return bound
+
+    def _bind_gang(self, pods, nodes):
+        """Place every member or none; rolls back on any failure."""
+        placed = []
+        for pod in pods:
+            node = self._pick_node(pod, nodes)
+            if node is None:
+                for bound_pod, bound_node in placed:
+                    bound_node.release(bound_pod.spec)
+                self.api.record_event(
+                    "Pod", pods[0].metadata.name, "FailedScheduling",
+                    f"gang {pods[0].spec.gang!r} needs {len(pods)} slots together",
+                )
+                return 0
+            node.allocate(pod.spec)
+            placed.append((pod, node))
+        for pod, node in placed:
+            self._commit_bind(pod, node)
+        return len(placed)
+
+    def _bind_one(self, pod, nodes):
+        node = self._pick_node(pod, nodes)
+        if node is None:
+            if self.preemption and pod.spec.priority > 0:
+                self._try_preempt(pod, nodes)
+            self.api.record_event("Pod", pod.metadata.name, "FailedScheduling",
+                                  "no node with sufficient resources")
+            return 0
+        node.allocate(pod.spec)
+        self._commit_bind(pod, node)
+        return 1
+
+    # ------------------------------------------------------------------
+    # Preemption
+    # ------------------------------------------------------------------
+
+    def _try_preempt(self, pod, nodes):
+        """Evict lower-priority GPU pods to make room for ``pod``.
+
+        Chooses the feasible node needing the fewest victims; victims
+        are the node's lowest-priority GPU pods. Eviction only requests
+        deletion — the pod binds on a later pass once the victims have
+        actually terminated (and they resume elsewhere/later from their
+        checkpoints, which is why preemption is safe on this platform).
+        """
+        best = None  # (victim_count, node, victims)
+        for node in nodes:
+            if node.condition != "Ready" or node.unschedulable:
+                continue
+            if pod.spec.gpu_type and pod.spec.gpu_type != node.capacity.gpu_type:
+                continue
+            if not all(node.metadata.labels.get(k) == v
+                       for k, v in pod.spec.node_selector.items()):
+                continue
+            if pod.spec.total_gpus > node.capacity.gpus:
+                continue
+            victims = self._victims_on(node, pod)
+            if victims is None:
+                continue
+            if best is None or len(victims) < len(best[2]):
+                best = (len(victims), node, victims)
+        if best is None:
+            return False
+        _count, node, victims = best
+        for victim in victims:
+            victim.deletion_requested = True
+            self.api.update(victim)
+            self.api.record_event("Pod", victim.metadata.name, "Preempted",
+                                  f"by {pod.metadata.name} "
+                                  f"(priority {pod.spec.priority})")
+            self.preemptions += 1
+        return True
+
+    def _victims_on(self, node, pod):
+        """Cheapest set of lower-priority GPU pods freeing enough room,
+        or None if even evicting all of them would not fit."""
+        residents = []
+        terminating_gpus = 0
+        for p in self.api.list("Pod"):
+            if p.node_name != node.metadata.name or p.is_terminal():
+                continue
+            if p.deletion_requested:
+                # Already on its way out (e.g. a previous preemption
+                # pass): count its GPUs as freeing, evict nothing new.
+                terminating_gpus += p.spec.total_gpus
+            elif p.spec.priority < pod.spec.priority and p.spec.total_gpus > 0:
+                residents.append(p)
+        residents.sort(key=lambda p: (p.spec.priority,
+                                      -p.spec.total_gpus))
+        freed = node.free_gpus + terminating_gpus
+        victims = []
+        for resident in residents:
+            if freed >= pod.spec.total_gpus:
+                break
+            victims.append(resident)
+            freed += resident.spec.total_gpus
+        if freed < pod.spec.total_gpus:
+            return None
+        return victims
+
+    def _pick_node(self, pod, nodes):
+        """Feasible node per strategy, or None (does not allocate)."""
+        feasible = [node for node in nodes if node.can_fit(pod.spec)]
+        if not feasible:
+            return None
+        if self.strategy == "binpack":
+            # Prefer the node with the fewest free GPUs that still
+            # fits, then fewest free CPU millicores: consolidates
+            # fragments so large multi-GPU pods keep placing.
+            return min(
+                feasible,
+                key=lambda n: (n.free_gpus,
+                               n.capacity.cpu_millicores - n.allocated_cpu,
+                               n.metadata.name),
+            )
+        # Spread: the ablation baseline — most free GPUs first.
+        return max(
+            feasible,
+            key=lambda n: (n.free_gpus,
+                           n.capacity.cpu_millicores - n.allocated_cpu,
+                           n.metadata.name),
+        )
+
+    def _commit_bind(self, pod, node):
+        """Record an already-allocated placement (allocation done by caller)."""
+        pod.node_name = node.metadata.name
+        pod._resources_released = False
+        self.api.update(pod)
+        self.api.record_event("Pod", pod.metadata.name, "Scheduled",
+                              f"bound to {node.metadata.name}")
+        if self.tracer is not None:
+            self.tracer.emit("scheduler", "bind", pod=pod.metadata.name,
+                             node=node.metadata.name)
+        self.scheduled_count += 1

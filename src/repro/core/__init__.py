@@ -1,0 +1,82 @@
+"""The DLaaS core: the paper's primary contribution.
+
+Public entry points:
+
+* :class:`DlaasPlatform` — assemble and start the whole platform;
+* :class:`DlaasClient` — submit and manage training jobs;
+* :class:`TrainingManifest` — validated job specifications;
+* :class:`ComponentCrasher` — dependability fault injection;
+* job lifecycle statuses (QUEUED … COMPLETED/FAILED/HALTED).
+"""
+
+from .auth import Metering, RateLimiter, TokenRegistry
+from .client import DlaasClient
+from .errors import (
+    AuthError,
+    DeploymentFailed,
+    DlaasError,
+    IllegalTransition,
+    InvalidManifest,
+    JobNotFound,
+    RateLimited,
+)
+from .faults import ComponentCrasher
+from .manifest import DataStoreRef, TrainingManifest
+from .observability import ClusterMonitor
+from .platform import DlaasPlatform, PlatformConfig
+from .rest import RestClient, RestGateway
+from .timeline import job_timeline, render_timeline
+from .states import (
+    ALL_STATUSES,
+    COMPLETED,
+    DEPLOYING,
+    DOWNLOADING,
+    FAILED,
+    HALTED,
+    PROCESSING,
+    QUEUED,
+    STORING,
+    TERMINAL_STATUSES,
+    StatusHistory,
+    aggregate_learner_statuses,
+    is_terminal,
+    validate_transition,
+)
+
+__all__ = [
+    "ALL_STATUSES",
+    "AuthError",
+    "COMPLETED",
+    "ClusterMonitor",
+    "ComponentCrasher",
+    "DEPLOYING",
+    "DOWNLOADING",
+    "DataStoreRef",
+    "DeploymentFailed",
+    "DlaasClient",
+    "DlaasError",
+    "DlaasPlatform",
+    "FAILED",
+    "HALTED",
+    "IllegalTransition",
+    "InvalidManifest",
+    "JobNotFound",
+    "Metering",
+    "PROCESSING",
+    "PlatformConfig",
+    "QUEUED",
+    "RateLimited",
+    "RateLimiter",
+    "RestClient",
+    "RestGateway",
+    "STORING",
+    "StatusHistory",
+    "TERMINAL_STATUSES",
+    "TokenRegistry",
+    "TrainingManifest",
+    "aggregate_learner_statuses",
+    "is_terminal",
+    "job_timeline",
+    "render_timeline",
+    "validate_transition",
+]

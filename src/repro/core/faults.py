@@ -1,0 +1,104 @@
+"""Component crash injection for the dependability experiments.
+
+The paper's Fig. 4 methodology: "manually crashing various components
+(using the kubectl tool of K8S) and measuring time taken for the
+component to restart." These helpers locate each component's pod and
+crash it; recovery is observed through ``component-ready`` trace events
+each component emits when it starts serving again.
+"""
+
+from . import layout
+from .errors import DlaasError
+
+
+class ComponentCrasher:
+    """kubectl-driven crash injection against a running platform."""
+
+    def __init__(self, platform):
+        self.platform = platform
+        self.kubectl = platform.k8s.kubectl
+
+    def _one_pod(self, selector, description):
+        pods = [p for p in self.kubectl.get_pods(selector=selector)
+                if not p.is_terminal() and not p.deletion_requested]
+        if not pods:
+            raise DlaasError(f"no live pod for {description} ({selector})")
+        return pods[0]
+
+    # ------------------------------------------------------------------
+    # Fig. 4's five components
+    # ------------------------------------------------------------------
+
+    def crash_api(self):
+        """Kill one API pod; returns (crash_time, pod_name)."""
+        pod = self._one_pod({"app": "api"}, "API")
+        when = self.platform.kernel.now
+        self.kubectl.delete_pod(pod.metadata.name, force=True)
+        return when, pod.metadata.name
+
+    def crash_lcm(self):
+        pod = self._one_pod({"app": "lcm"}, "LCM")
+        when = self.platform.kernel.now
+        self.kubectl.delete_pod(pod.metadata.name, force=True)
+        return when, pod.metadata.name
+
+    def crash_guardian(self, job_id):
+        pod = self._one_pod({"dlaas-job": job_id, "role": "guardian"},
+                            f"guardian of {job_id}")
+        when = self.platform.kernel.now
+        self.kubectl.delete_pod(pod.metadata.name, force=True)
+        return when, pod.metadata.name
+
+    def crash_helper(self, job_id):
+        pod = self._one_pod({"dlaas-job": job_id, "role": "helper"},
+                            f"helper of {job_id}")
+        when = self.platform.kernel.now
+        self.kubectl.delete_pod(pod.metadata.name, force=True)
+        return when, pod.metadata.name
+
+    def crash_controller_container(self, job_id):
+        """In-place controller container crash (restart policy applies)."""
+        pod = self._one_pod({"dlaas-job": job_id, "role": "helper"},
+                            f"helper of {job_id}")
+        when = self.platform.kernel.now
+        self.kubectl.crash_container(pod.metadata.name, "controller")
+        return when, pod.metadata.name
+
+    def crash_learner(self, job_id, ordinal=0):
+        """Kill a learner pod (StatefulSet recreates it by name)."""
+        name = layout.learner_pod_name(job_id, ordinal)
+        when = self.platform.kernel.now
+        self.kubectl.delete_pod(name, force=True)
+        return when, name
+
+    def crash_learner_container(self, job_id, ordinal=0):
+        """In-place learner container crash (kubelet restarts it)."""
+        name = layout.learner_pod_name(job_id, ordinal)
+        when = self.platform.kernel.now
+        self.kubectl.crash_container(name, "learner")
+        return when, name
+
+    def crash_node_of(self, job_id, ordinal=0):
+        """Machine failure under a learner (paper §III.h)."""
+        pod = self.kubectl.get_pod(layout.learner_pod_name(job_id, ordinal))
+        when = self.platform.kernel.now
+        self.platform.k8s.crash_node(pod.node_name)
+        return when, pod.node_name
+
+    # ------------------------------------------------------------------
+    # Recovery observation
+    # ------------------------------------------------------------------
+
+    def recovery_time(self, component, crash_time, **match):
+        """Seconds from ``crash_time`` to the component's next ready event.
+
+        ``component`` is the tracer component name (``api``, ``lcm``,
+        ``guardian``, ``controller``, ``learner-<n>``); extra kwargs
+        filter on event fields (e.g. ``job=...``).
+        """
+        for record in self.platform.tracer.query(component=component,
+                                                 kind="component-ready",
+                                                 since=crash_time, **match):
+            if record.time > crash_time:
+                return record.time - crash_time
+        return None

@@ -1,0 +1,450 @@
+"""The Guardian: per-job deployer and monitor (paper §III.d–f).
+
+The Guardian is a DLaaS component created on the fly *as a Kubernetes
+Job* for every DL job. Creating it is a single quick step; the Guardian
+then performs the multi-step deployment (volume claim, network policy,
+helper pod, learner StatefulSet). Because it runs as a K8S Job,
+Kubernetes guarantees to restart it on any crash; the restarted
+Guardian rolls back the partially deployed job (using a write-ahead
+record in ETCD) and deploys afresh, up to a configurable number of
+attempts, after which it marks the job FAILED in MongoDB.
+
+Once deployment succeeds, the Guardian monitors: it aggregates the
+per-learner statuses the controller records in ETCD and writes the
+overall job status to MongoDB, handles user-initiated halts, triggers
+teardown, and exits (completing the K8S Job) when the DL job reaches a
+terminal state.
+"""
+
+from ..cluster import (
+    ContainerSpec,
+    Deployment,
+    NetworkPolicy,
+    PersistentVolumeClaim,
+    PodSpec,
+    PodTemplate,
+    RESTART_ALWAYS,
+    StatefulSet,
+)
+from ..docstore import MongoClient
+from ..raftkv import EtcdClient
+from . import layout
+from .helpers import (
+    HELPER_DONE,
+    make_controller_workload,
+    make_load_data_workload,
+    make_log_collector_workload,
+    make_store_results_workload,
+)
+from .learner import make_learner_workload
+from .manifest import TrainingManifest
+from .states import (
+    COMPLETED,
+    DEPLOYING,
+    DOWNLOADING,
+    FAILED,
+    HALTED,
+    PROCESSING,
+    STORING,
+    is_terminal,
+    validate_transition,
+)
+
+# Resource kinds recorded in the write-ahead deployment log, in the
+# order they are deployed (and reverse-torn-down).
+_DEPLOY_ORDER = ("pvc", "networkpolicy", "helper", "learners")
+
+
+def make_guardian_workload(platform, job_id):
+    """Workload factory for the Guardian's K8S Job pod template."""
+
+    def workload(ctx):
+        guardian = Guardian(platform, job_id, ctx)
+        result = yield from guardian.run()
+        return result
+
+    return workload
+
+
+class Guardian:
+    """One Guardian incarnation (one pod of the guardian K8S Job)."""
+
+    def __init__(self, platform, job_id, ctx):
+        self.platform = platform
+        self.job_id = job_id
+        self.ctx = ctx
+        self.kernel = ctx.kernel
+        self.k8s = platform.k8s.api
+        self.etcd = EtcdClient(self.kernel, platform.network, platform.etcd,
+                               client_id=f"guardian-{job_id}-{ctx.pod.metadata.uid}")
+        self.mongo = MongoClient(self.kernel, platform.network, platform.mongo,
+                                 caller=f"guardian-{job_id}")
+        self.manifest = None
+        self._last_reports = []
+        self._stall_restarts = {}  # ordinal -> last restart time
+
+    # ------------------------------------------------------------------
+
+    def run(self):
+        yield self.kernel.sleep(self.platform.config.guardian_init_time)
+        self.platform.tracer.emit("guardian", "component-ready", job=self.job_id)
+
+        doc = yield from self.mongo.find_one("jobs", {"job_id": self.job_id})
+        if doc is None:
+            self.ctx.log(f"no metadata for {self.job_id}; giving up")
+            return 1
+        if is_terminal(doc["status"]):
+            return 0
+        self.manifest = TrainingManifest.from_dict(doc["manifest"])
+
+        deployed = yield from self._recover_and_deploy()
+        if not deployed:
+            return 0  # job marked FAILED; K8S Job completes
+        result = yield from self._monitor()
+        return result
+
+    # ------------------------------------------------------------------
+    # Atomic deployment with rollback (§III.d)
+    # ------------------------------------------------------------------
+
+    def _recover_and_deploy(self):
+        # A predecessor that finished deploying left a completion
+        # marker: the job is healthy and running, so a Guardian crash
+        # during *monitoring* must not redeploy anything (§III.d only
+        # rolls back crashes "in the middle of a job deployment").
+        complete = yield from self.etcd.get(layout.guardian_complete_key(self.job_id))
+        if complete:
+            return True
+
+        # Roll back whatever a crashed predecessor left behind.
+        leftovers = yield from self.etcd.get_range(
+            layout.guardian_deployed_prefix(self.job_id)
+        )
+        if leftovers:
+            self.ctx.log(f"rolling back partial deployment ({len(leftovers)} resources)")
+            yield from self._teardown()
+            yield from self._await_rollback_complete()
+
+        attempt = (yield from self.etcd.get(layout.guardian_attempt_key(self.job_id))) or 0
+        attempt += 1
+        yield from self.etcd.put(layout.guardian_attempt_key(self.job_id), attempt)
+        if attempt > self.platform.config.max_deploy_attempts:
+            self.ctx.log(f"deployment attempt {attempt} exceeds limit; job FAILED")
+            yield from self._set_status(FAILED,
+                                        reason="deployment attempts exhausted")
+            yield from self._cleanup_etcd()
+            return False
+
+        yield from self._set_status(DEPLOYING)
+        yield from self._deploy()
+        yield from self.etcd.put(layout.guardian_complete_key(self.job_id), True)
+        self.platform.tracer.emit("guardian", "deployed", job=self.job_id,
+                                  attempt=attempt)
+        return True
+
+    def _await_rollback_complete(self):
+        """Wait until the rolled-back resources are actually gone.
+
+        Teardown only *requests* deletion; redeploying same-named
+        resources before the old ones finish terminating would conflict
+        and burn a deployment attempt for no reason.
+        """
+        job_id = self.job_id
+        deadline = self.kernel.now + 60.0
+        while self.kernel.now < deadline:
+            remaining = (
+                self.k8s.exists("StatefulSet", layout.learner_set_name(job_id))
+                or self.k8s.exists("Deployment", layout.helper_deployment_name(job_id))
+                or any(
+                    pod.metadata.labels.get("role") != "guardian"
+                    for pod in self.k8s.list("Pod", selector={"dlaas-job": job_id})
+                )
+            )
+            if not remaining:
+                return
+            yield self.kernel.sleep(0.2)
+
+    def _deploy(self):
+        """The multi-step deployment, write-ahead logged to ETCD.
+
+        Each step records its intent *before* creating the resource, so
+        a crash at any point leaves enough information to roll back.
+        A deterministic crash hook (``extra.guardian_crash_after``)
+        supports the atomicity experiments.
+        """
+        job_id, manifest = self.job_id, self.manifest
+        step_cost = self.platform.config.guardian_step_time
+        crash_after = manifest.extra.get("guardian_crash_after")
+        crash_on_attempt = int(manifest.extra.get("guardian_crash_on_attempt", 1))
+
+        steps = {
+            "pvc": self._deploy_pvc,
+            "networkpolicy": self._deploy_network_policy,
+            "helper": self._deploy_helper,
+            "learners": self._deploy_learners,
+        }
+        for index, kind in enumerate(_DEPLOY_ORDER):
+            yield from self.etcd.put(
+                layout.guardian_deployed_key(job_id, kind), "pending"
+            )
+            steps[kind]()
+            yield self.kernel.sleep(step_cost)
+            if crash_after is not None and index + 1 >= int(crash_after):
+                attempt = yield from self.etcd.get(layout.guardian_attempt_key(job_id))
+                if attempt == crash_on_attempt:
+                    raise RuntimeError(
+                        f"injected guardian crash after step {index + 1}"
+                    )
+
+    def _deploy_pvc(self):
+        self.k8s.create(PersistentVolumeClaim(layout.pvc_name(self.job_id)))
+
+    def _deploy_network_policy(self):
+        # Learners may talk to each other and to their helper pod; all
+        # other traffic (other tenants, platform services) is blocked.
+        self.k8s.create(NetworkPolicy(
+            layout.network_policy_name(self.job_id),
+            pod_selector={"dlaas-job": self.job_id, "role": "learner"},
+            allow_from_selectors=[
+                {"dlaas-job": self.job_id, "role": "learner"},
+                {"dlaas-job": self.job_id, "role": "helper"},
+            ],
+        ))
+
+    def _deploy_helper(self):
+        platform, job_id, manifest = self.platform, self.job_id, self.manifest
+
+        def spec_factory():
+            return PodSpec(
+                containers=[
+                    ContainerSpec("load-data", "dlaas/helper",
+                                  workload=make_load_data_workload(platform, job_id, manifest)),
+                    ContainerSpec("controller", "dlaas/helper",
+                                  workload=make_controller_workload(platform, job_id, manifest)),
+                    ContainerSpec("log-collector", "dlaas/helper",
+                                  workload=make_log_collector_workload(platform, job_id, manifest)),
+                    ContainerSpec("store-results", "dlaas/helper",
+                                  workload=make_store_results_workload(platform, job_id, manifest)),
+                ],
+                restart_policy=RESTART_ALWAYS,
+                volumes={"job": layout.pvc_name(job_id)},
+            )
+
+        self.k8s.create(Deployment(
+            layout.helper_deployment_name(job_id),
+            PodTemplate(spec_factory, labels={"dlaas-job": job_id, "role": "helper"}),
+            replicas=1,
+        ))
+
+    def _deploy_learners(self):
+        platform, job_id, manifest = self.platform, self.job_id, self.manifest
+        framework_image = platform.framework_image(manifest.framework)
+
+        gang_scheduled = manifest.learners > 1 and platform.config.gang_scheduling
+
+        def spec_factory():
+            return PodSpec(
+                containers=[ContainerSpec(
+                    "learner", framework_image,
+                    workload=make_learner_workload(platform, job_id, manifest),
+                    gpus=manifest.gpus_per_learner,
+                    cpu_millicores=manifest.cpu_millicores,
+                    memory_mb=manifest.memory_mb,
+                )],
+                restart_policy=RESTART_ALWAYS,
+                volumes={"job": layout.pvc_name(job_id)},
+                gpu_type=manifest.gpu_type,
+                priority=manifest.priority,
+                # Synchronous distributed training blocks at MPI wire-up
+                # until every learner exists: place all or none.
+                gang=job_id if gang_scheduled else None,
+                gang_size=manifest.learners if gang_scheduled else 0,
+            )
+
+        self.k8s.create(StatefulSet(
+            layout.learner_set_name(job_id),
+            PodTemplate(spec_factory, labels={"dlaas-job": job_id, "role": "learner"}),
+            replicas=manifest.learners,
+        ))
+
+    # ------------------------------------------------------------------
+    # Monitoring (§III.f)
+    # ------------------------------------------------------------------
+
+    def _monitor(self):
+        interval = self.platform.config.monitor_interval
+        while True:
+            if self.ctx.stopping:
+                return 143
+            halted = yield from self.etcd.get(layout.halt_key(self.job_id))
+            statuses = yield from self.etcd.get_range(
+                layout.learner_status_prefix(self.job_id)
+            )
+            store_done = (yield from self.etcd.get(
+                layout.helper_status_key(self.job_id, "store-results")
+            )) == HELPER_DONE
+            load_done = (yield from self.etcd.get(
+                layout.helper_status_key(self.job_id, "load-data")
+            )) == HELPER_DONE
+
+            reports = [value for _key, value in statuses]
+            if reports:
+                self._last_reports = reports
+            self._restart_stalled_learners(statuses)
+            job_status = self._aggregate(reports, load_done, store_done)
+            if halted:
+                job_status = HALTED
+
+            yield from self._set_status(job_status)
+
+            if is_terminal(job_status):
+                yield from self._finish(job_status)
+                return 0
+            yield self.kernel.sleep(interval)
+
+    def _restart_stalled_learners(self, statuses):
+        """Hang detection (extension): restart learners the controller
+        reports STALLED. The pod deletion is exactly the Fig. 4 learner
+        recovery path — StatefulSet recreation + checkpoint resume —
+        so a hang costs one learner-restart, not a lost job."""
+        cooldown = self.platform.config.stall_restart_cooldown
+        for key, report in statuses:
+            if not isinstance(report, dict) or report.get("status") != "STALLED":
+                continue
+            ordinal = int(key.rsplit("/", 2)[-2].rsplit("-", 1)[1])
+            last = self._stall_restarts.get(ordinal)
+            if last is not None and self.kernel.now - last < cooldown:
+                continue
+            pod_name = layout.learner_pod_name(self.job_id, ordinal)
+            if not self.k8s.exists("Pod", pod_name):
+                continue
+            self._stall_restarts[ordinal] = self.kernel.now
+            self.platform.k8s.kubectl.delete_pod(pod_name, force=True)
+            self.platform.tracer.emit("guardian", "stall-restart",
+                                      job=self.job_id, learner=ordinal,
+                                      stalled_for=report.get("stalled_for"))
+            self.ctx.log(f"restarted stalled learner-{ordinal}")
+
+    def _aggregate(self, learner_reports, load_done, store_done):
+        reports = {r["status"] for r in learner_reports if isinstance(r, dict)}
+        # A stalled learner is being restarted; the job keeps PROCESSING.
+        if "STALLED" in reports:
+            reports.discard("STALLED")
+            reports.add(PROCESSING)
+        if FAILED in reports:
+            return FAILED
+        if store_done:
+            return COMPLETED
+        if reports and reports == {COMPLETED}:
+            return STORING
+        if PROCESSING in reports or COMPLETED in reports:
+            return PROCESSING
+        # Learners exist but are still waiting on data / binding stores,
+        # or have not reported at all: the job is still staging.
+        return DOWNLOADING
+
+    def _finish(self, final_status):
+        self.ctx.log(f"job {self.job_id} reached {final_status}; tearing down")
+        yield from self._teardown()
+        # Wait for the job's pods to actually terminate before cleaning
+        # ETCD: a still-running controller would otherwise re-publish
+        # statuses into keys we just deleted.
+        deadline = self.kernel.now + 60.0
+        while self.kernel.now < deadline:
+            remaining = [
+                pod for pod in self.k8s.list("Pod", selector={"dlaas-job": self.job_id})
+                if pod.metadata.labels.get("role") != "guardian"
+            ]
+            if not remaining:
+                break
+            yield self.kernel.sleep(0.5)
+        yield from self._cleanup_etcd()
+        yield from self.mongo.update_one(
+            "jobs", {"job_id": self.job_id},
+            {"$set": {"completed_at": self.kernel.now}},
+        )
+        yield from self._record_gpu_seconds()
+        self.platform.tracer.emit("guardian", "job-finished", job=self.job_id,
+                                  status=final_status)
+
+    def _record_gpu_seconds(self):
+        """Meter GPU occupancy and record job-level training metrics."""
+        doc = yield from self.mongo.find_one("jobs", {"job_id": self.job_id})
+        if doc is None:
+            return
+        history = {h["status"]: h["time"] for h in doc["status_history"]}
+        deploy_time = history.get(DEPLOYING, doc["created_at"])
+        gpu_seconds = self.manifest.total_gpus * max(0.0, self.kernel.now - deploy_time)
+        yield from self.mongo.update_one(
+            "metering", {"tenant": doc["tenant"]},
+            {"$inc": {"gpu_seconds": gpu_seconds}}, upsert=True,
+        )
+        # Metrics collection (helpers' fourth duty in Fig. 1): training
+        # throughput over the PROCESSING window, recorded on the job.
+        if PROCESSING in history and STORING in history:
+            processing_seconds = history[STORING] - history[PROCESSING]
+            batch = self.manifest.batch_per_gpu or \
+                self.platform.model_default_batch(self.manifest)
+            images = (self.manifest.target_steps * batch
+                      * self.manifest.gpus_per_learner * self.manifest.learners)
+            metrics = {
+                "processing_seconds": processing_seconds,
+                "images_per_sec": images / max(processing_seconds, 1e-9),
+                "gpu_seconds": gpu_seconds,
+            }
+            losses = [r["loss"] for r in self._last_reports
+                      if isinstance(r, dict) and "loss" in r]
+            if losses:
+                metrics["final_loss"] = sum(losses) / len(losses)
+            yield from self.mongo.update_one(
+                "jobs", {"job_id": self.job_id}, {"$set": {"metrics": metrics}}
+            )
+
+    # ------------------------------------------------------------------
+    # Teardown / rollback
+    # ------------------------------------------------------------------
+
+    def _teardown(self):
+        job_id = self.job_id
+        sset = self.k8s.get_or_none("StatefulSet", layout.learner_set_name(job_id))
+        if sset is not None:
+            sset.deletion_requested = True
+            self.k8s.update(sset)
+        helper = self.k8s.get_or_none("Deployment", layout.helper_deployment_name(job_id))
+        if helper is not None:
+            helper.deletion_requested = True
+            self.k8s.update(helper)
+        if self.k8s.exists("NetworkPolicy", layout.network_policy_name(job_id)):
+            self.k8s.delete("NetworkPolicy", layout.network_policy_name(job_id))
+        if self.k8s.exists("PersistentVolumeClaim", layout.pvc_name(job_id)):
+            self.k8s.delete("PersistentVolumeClaim", layout.pvc_name(job_id))
+        yield from self.etcd.delete_prefix(layout.guardian_deployed_prefix(job_id))
+
+    def _cleanup_etcd(self):
+        yield from self.etcd.delete_prefix(layout.job_prefix(self.job_id))
+        yield from self.etcd.delete_prefix(layout.guardian_prefix(self.job_id))
+
+    # ------------------------------------------------------------------
+    # Status recording in MongoDB
+    # ------------------------------------------------------------------
+
+    def _set_status(self, status, reason=None):
+        """Advance the job's status in MongoDB, validated and monotone."""
+        doc = yield from self.mongo.find_one("jobs", {"job_id": self.job_id})
+        if doc is None or doc["status"] == status:
+            return
+        try:
+            validate_transition(doc["status"], status)
+        except Exception:
+            return  # stale observation; never move a job backwards illegally
+        update = {
+            "$set": {"status": status},
+            "$push": {"status_history": {"status": status, "time": self.kernel.now}},
+        }
+        if reason:
+            update["$set"]["reason"] = reason
+        yield from self.mongo.update_one(
+            "jobs", {"job_id": self.job_id, "status": doc["status"]}, update
+        )
+        self.platform.tracer.emit("guardian", "status-update", job=self.job_id,
+                                  status=status)

@@ -1,0 +1,259 @@
+"""The helper-pod containers (paper §III.e–f).
+
+For each DL job the Guardian creates one helper pod with four
+containers — load-data, controller, log-collector, store-results —
+isolated from the learner pods but sharing the job's NFS volume:
+
+* **load-data** stages the training data from the object store onto NFS;
+* **controller** watches learner exit/status files on NFS and records
+  per-learner statuses in ETCD (the reliable status-update pipeline);
+* **log-collector** tails learner logs into a combined job log;
+* **store-results** uploads results and logs to the object store when
+  triggered.
+
+Each is restartable and stateless: its working state is derived from
+NFS (and ETCD), which is what makes controller crashes harmless.
+"""
+
+import json
+
+from ..raftkv import EtcdClient
+from . import layout
+from .learner import read_learner_status
+from .states import COMPLETED, FAILED, HALTED
+
+HELPER_RUNNING = "RUNNING"
+HELPER_DONE = "DONE"
+STALLED = "STALLED"
+
+
+def _idle_until_stopped(ctx):
+    """Sidecar idiom: stay alive so restart policy Always is a no-op."""
+    yield ctx.stop_event
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# load-data
+# ---------------------------------------------------------------------------
+
+
+def make_load_data_workload(platform, job_id, manifest):
+    def workload(ctx):
+        kernel = ctx.kernel
+        mount = ctx.mounts["job"]
+        if mount.exists(layout.DATA_READY):
+            # A previous incarnation finished; do not re-download.
+            yield from _idle_until_stopped(ctx)
+            return 0
+        mount.write_file("/helper/load-data.status", HELPER_RUNNING)
+        ctx.log(f"staging {manifest.dataset_size_mb:.0f} MB of training data")
+        yield from platform.object_store.download(
+            manifest.data.bucket, "dataset", manifest.data.credentials
+        )
+        mount.mkdir(layout.DATA_DIR)
+        mount.write_file(f"{layout.DATA_DIR}/manifest.json",
+                         json.dumps({"size_mb": manifest.dataset_size_mb}))
+        mount.write_file(layout.DATA_READY, "ok")
+        mount.write_file("/helper/load-data.status", HELPER_DONE)
+        ctx.log("training data ready")
+        yield from _idle_until_stopped(ctx)
+        return 0
+
+    return workload
+
+
+# ---------------------------------------------------------------------------
+# controller
+# ---------------------------------------------------------------------------
+
+
+def make_controller_workload(platform, job_id, manifest):
+    def workload(ctx):
+        kernel = ctx.kernel
+        mount = ctx.mounts["job"]
+        # Agent/runtime initialization inside the helper container.
+        yield kernel.sleep(platform.config.helper_init_time)
+        etcd = EtcdClient(kernel, platform.network, platform.etcd,
+                          client_id=f"controller-{job_id}-{ctx.pod.metadata.uid}")
+        platform.tracer.emit("controller", "component-ready", job=job_id)
+        last_reported = {}
+        # Hang detection state: per-learner (status-file content, time it
+        # last changed). Rebuilt from scratch after a controller restart
+        # — worst case the stall clock restarts, which only delays
+        # detection by one timeout.
+        freshness = {}
+        stall_timeout = platform.config.stall_timeout
+
+        while not ctx.stopping:
+            # Learner statuses: NFS -> ETCD. State is recomputed from
+            # NFS every pass, so a restarted controller loses nothing.
+            for ordinal in range(manifest.learners):
+                report = _learner_report(mount, ordinal, kernel.now)
+                if report is None:
+                    continue
+                report = _apply_stall_detection(
+                    report, ordinal, freshness, kernel.now, stall_timeout
+                )
+                if last_reported.get(ordinal) != report:
+                    yield from etcd.put(
+                        layout.learner_status_key(job_id, ordinal), report
+                    )
+                    last_reported[ordinal] = report
+
+            # Helper statuses.
+            for helper in ("load-data", "store-results"):
+                path = f"/helper/{helper}.status"
+                if mount.exists(path):
+                    value = mount.read_file(path)
+                    if last_reported.get(helper) != value:
+                        yield from etcd.put(
+                            layout.helper_status_key(job_id, helper), value
+                        )
+                        last_reported[helper] = value
+
+            # Trigger store-results once every learner completed.
+            if not mount.exists(layout.CONTROL_STORE_TRIGGER):
+                exits = [_exit_code(mount, i) for i in range(manifest.learners)]
+                if all(code == 0 for code in exits):
+                    mount.write_file(layout.CONTROL_STORE_TRIGGER, "go")
+            yield kernel.sleep(platform.config.controller_poll)
+        return 0
+
+    return workload
+
+
+def _apply_stall_detection(report, ordinal, freshness, now, stall_timeout):
+    """Flag a PROCESSING learner whose progress has frozen (extension).
+
+    The paper's §III.e detects *orderly* failures (exit codes) and lets
+    Kubernetes handle crashes, but a learner that hangs — alive yet
+    making no progress — produces neither signal. The controller tracks
+    when each learner's reported (status, step) last changed and
+    reports STALLED once it exceeds the timeout; the Guardian restarts
+    stalled learners.
+    """
+    if stall_timeout <= 0:
+        return report
+    fingerprint = (report.get("status"), report.get("step"))
+    seen_fingerprint, since = freshness.get(ordinal, (None, now))
+    if fingerprint != seen_fingerprint:
+        freshness[ordinal] = (fingerprint, now)
+        return report
+    if report.get("status") == "PROCESSING" and now - since >= stall_timeout:
+        stalled = dict(report)
+        stalled["status"] = STALLED
+        stalled["stalled_for"] = now - since
+        return stalled
+    return report
+
+
+def _exit_code(mount, ordinal):
+    path = layout.learner_exit_file(ordinal)
+    if not mount.exists(path):
+        return None
+    try:
+        return int(mount.read_file(path).strip())
+    except ValueError:
+        return None
+
+
+def _learner_report(mount, ordinal, now):
+    """Derive the learner's reported status from its NFS files.
+
+    An orderly exit code takes precedence over the (possibly stale)
+    status file — this is the §III.e failure-detection rule.
+    """
+    exit_code = _exit_code(mount, ordinal)
+    status = read_learner_status(mount, ordinal)
+    if exit_code is not None:
+        if exit_code == 0:
+            phase = COMPLETED
+        elif exit_code == 143:
+            phase = HALTED
+        else:
+            phase = FAILED
+        report = {
+            "status": phase,
+            "step": status.get("step", 0) if status else 0,
+            "exit_code": exit_code,
+            "time": now,
+        }
+        if status and "loss" in status:
+            report["loss"] = status["loss"]
+        return report
+    if status is None:
+        return None
+    report = {"status": status["status"], "step": status["step"], "time": now}
+    if "loss" in status:
+        report["loss"] = status["loss"]
+    return report
+
+
+# ---------------------------------------------------------------------------
+# log-collector
+# ---------------------------------------------------------------------------
+
+
+def make_log_collector_workload(platform, job_id, manifest):
+    def workload(ctx):
+        kernel = ctx.kernel
+        mount = ctx.mounts["job"]
+        offsets = {}
+        collected = platform.metrics.counter(f"logs.{job_id}.lines")
+        while not ctx.stopping:
+            for ordinal in range(manifest.learners):
+                path = layout.learner_log_file(ordinal)
+                if not mount.exists(path):
+                    continue
+                fresh = mount.read_from(path, offsets.get(ordinal, 0))
+                if fresh:
+                    offsets[ordinal] = offsets.get(ordinal, 0) + len(fresh)
+                    for line in fresh.splitlines():
+                        mount.append_line(layout.COMBINED_LOG,
+                                          f"learner-{ordinal}| {line}")
+                        collected.inc()
+            yield kernel.sleep(platform.config.log_collect_interval)
+        return 0
+
+    return workload
+
+
+# ---------------------------------------------------------------------------
+# store-results
+# ---------------------------------------------------------------------------
+
+
+def make_store_results_workload(platform, job_id, manifest):
+    def workload(ctx):
+        kernel = ctx.kernel
+        mount = ctx.mounts["job"]
+        if mount.exists(layout.CONTROL_STORE_DONE):
+            yield from _idle_until_stopped(ctx)
+            return 0
+        # Wait for the controller's trigger.
+        while not mount.exists(layout.CONTROL_STORE_TRIGGER):
+            if ctx.stopping:
+                return 0
+            yield kernel.sleep(platform.config.controller_poll)
+        mount.write_file("/helper/store-results.status", HELPER_RUNNING)
+        log_text = ""
+        if mount.exists(layout.COMBINED_LOG):
+            log_text = mount.read_file(layout.COMBINED_LOG)
+        model_mb = platform.model_size_mb(manifest)
+        ctx.log(f"uploading trained model ({model_mb:.0f} MB) and logs")
+        yield from platform.object_store.upload(
+            manifest.results.bucket, f"{job_id}/model",
+            manifest.results.credentials, size=int(model_mb * 1_000_000),
+        )
+        yield from platform.object_store.upload(
+            manifest.results.bucket, f"{job_id}/logs",
+            manifest.results.credentials, size=len(log_text),
+            payload={"text": log_text},
+        )
+        mount.write_file(layout.CONTROL_STORE_DONE, "ok")
+        mount.write_file("/helper/store-results.status", HELPER_DONE)
+        yield from _idle_until_stopped(ctx)
+        return 0
+
+    return workload

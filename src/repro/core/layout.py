@@ -1,0 +1,106 @@
+"""Shared naming conventions: NFS paths, ETCD keys, resource names.
+
+Every component (Guardian, controller, learners, helpers, LCM) reads
+and writes the same layout; keeping it in one module keeps them honest.
+"""
+
+# ---------------------------------------------------------------------------
+# Kubernetes resource names, per job
+# ---------------------------------------------------------------------------
+
+
+def guardian_job_name(job_id):
+    return f"guardian-{job_id}"
+
+
+def learner_set_name(job_id):
+    return f"{job_id}-learner"
+
+
+def helper_deployment_name(job_id):
+    return f"{job_id}-helper"
+
+
+def pvc_name(job_id):
+    return f"{job_id}-vol"
+
+
+def network_policy_name(job_id):
+    return f"{job_id}-isolation"
+
+
+def learner_pod_name(job_id, ordinal):
+    return f"{learner_set_name(job_id)}-{ordinal}"
+
+
+# ---------------------------------------------------------------------------
+# Shared NFS volume layout, per job
+# ---------------------------------------------------------------------------
+
+DATA_READY = "/data/READY"
+DATA_DIR = "/data"
+CONTROL_STORE_TRIGGER = "/control/store-results.trigger"
+CONTROL_STORE_DONE = "/control/store-results.done"
+COMBINED_LOG = "/logs/combined.log"
+RESULTS_DIR = "/results"
+
+
+def learner_dir(ordinal):
+    return f"/learners/learner-{ordinal}"
+
+
+def learner_status_file(ordinal):
+    return f"{learner_dir(ordinal)}/status"
+
+
+def learner_exit_file(ordinal):
+    return f"{learner_dir(ordinal)}/exit-code"
+
+
+def learner_log_file(ordinal):
+    return f"{learner_dir(ordinal)}/training.log"
+
+
+# ---------------------------------------------------------------------------
+# ETCD key layout
+# ---------------------------------------------------------------------------
+
+
+def job_prefix(job_id):
+    return f"jobs/{job_id}/"
+
+
+def learner_status_key(job_id, ordinal):
+    return f"jobs/{job_id}/learners/learner-{ordinal}/status"
+
+
+def learner_status_prefix(job_id):
+    return f"jobs/{job_id}/learners/"
+
+
+def helper_status_key(job_id, helper):
+    return f"jobs/{job_id}/helper/{helper}"
+
+
+def halt_key(job_id):
+    return f"jobs/{job_id}/halt"
+
+
+def guardian_prefix(job_id):
+    return f"guardian/{job_id}/"
+
+
+def guardian_attempt_key(job_id):
+    return f"guardian/{job_id}/attempt"
+
+
+def guardian_complete_key(job_id):
+    return f"guardian/{job_id}/deploy-complete"
+
+
+def guardian_deployed_key(job_id, resource):
+    return f"guardian/{job_id}/deployed/{resource}"
+
+
+def guardian_deployed_prefix(job_id):
+    return f"guardian/{job_id}/deployed/"

@@ -1,0 +1,137 @@
+"""The Lifecycle Manager (paper §III.c–d).
+
+"The LCM is responsible for the job from submission to
+completion/failure, i.e., the deployment, monitoring, garbage
+collection, and user-initiated termination of the job."
+
+Deployment is delegated: the LCM's only deployment action is the quick,
+single-step creation of a Guardian K8S Job. A reconcile loop also scans
+MongoDB for QUEUED jobs, so submissions that arrived while the LCM was
+down (or whose notify RPC was lost) are still deployed — the LCM keeps
+no in-memory state it cannot rebuild.
+"""
+
+from ..cluster import ContainerSpec, Job, PodSpec, PodTemplate, RESTART_NEVER
+from ..docstore import MongoClient
+from ..grpcnet import Server
+from ..raftkv import EtcdClient
+from . import layout
+from .guardian import make_guardian_workload
+from .states import HALTED, QUEUED, is_terminal
+
+
+class LcmService:
+    """One LCM instance (runs inside an LCM pod)."""
+
+    def __init__(self, platform, address):
+        self.platform = platform
+        self.kernel = platform.kernel
+        self.address = address
+        self.mongo = MongoClient(self.kernel, platform.network, platform.mongo,
+                                 caller=address)
+        self.etcd = EtcdClient(self.kernel, platform.network, platform.etcd,
+                               client_id=address)
+        self.server = Server(self.kernel, platform.network, address)
+        self.server.add_method("deploy_job", self._on_deploy_job)
+        self.server.add_method("kill_job", self._on_kill_job)
+
+    # ------------------------------------------------------------------
+    # RPC handlers
+    # ------------------------------------------------------------------
+
+    def _on_deploy_job(self, request):
+        deployed = yield from self.deploy_job(request["job_id"])
+        return {"deployed": deployed}
+
+    def _on_kill_job(self, request):
+        job_id = request["job_id"]
+        # Fast path: a QUEUED job has no Guardian yet; halt it directly
+        # (guarded by status so we never race a concurrent deploy).
+        doc = yield from self.mongo.find_one_and_update(
+            "jobs", {"job_id": job_id, "status": QUEUED},
+            {"$set": {"status": HALTED},
+             "$push": {"status_history": {"status": HALTED, "time": self.kernel.now}}},
+        )
+        if doc is not None:
+            return {"halted": "immediately"}
+        # Otherwise signal the Guardian through ETCD.
+        yield from self.etcd.put(layout.halt_key(job_id), True)
+        return {"halted": "signalled"}
+
+    # ------------------------------------------------------------------
+    # Deployment: create the Guardian (quick single step, §III.d)
+    # ------------------------------------------------------------------
+
+    def deploy_job(self, job_id):
+        name = layout.guardian_job_name(job_id)
+        if self.platform.k8s.api.exists("Job", name):
+            return False
+
+        # Claim the job: QUEUED -> DEPLOYING exactly once, even with
+        # concurrent LCM instances or notify+reconcile races.
+        doc = yield from self.mongo.find_one_and_update(
+            "jobs", {"job_id": job_id, "status": QUEUED},
+            {"$set": {"status": "DEPLOYING"},
+             "$push": {"status_history": {"status": "DEPLOYING",
+                                          "time": self.kernel.now}}},
+        )
+        if doc is None:
+            return False
+
+        platform = self.platform
+
+        def spec_factory():
+            return PodSpec(
+                containers=[ContainerSpec(
+                    "guardian", "dlaas/guardian",
+                    workload=make_guardian_workload(platform, job_id),
+                )],
+                restart_policy=RESTART_NEVER,  # the K8S Job does the retrying
+            )
+
+        start = self.kernel.now
+        self.platform.k8s.api.create(Job(
+            name,
+            PodTemplate(spec_factory, labels={"dlaas-job": job_id, "role": "guardian"}),
+            backoff_limit=self.platform.config.guardian_backoff_limit,
+            labels={"dlaas-job": job_id},
+        ))
+        self.platform.metrics.histogram("lcm.guardian_creation_seconds").observe(
+            self.kernel.now - start
+        )
+        self.platform.tracer.emit("lcm", "guardian-created", job=job_id)
+        return True
+
+    # ------------------------------------------------------------------
+    # Loops (run as processes inside the LCM pod workload)
+    # ------------------------------------------------------------------
+
+    def reconcile_loop(self, stop_event):
+        """Deploy QUEUED jobs; the safety net behind lost notifies."""
+        while not stop_event.triggered:
+            try:
+                docs = yield from self.mongo.find("jobs", {"status": QUEUED})
+            except Exception:
+                docs = []
+            for doc in docs:
+                if stop_event.triggered:
+                    break
+                yield from self.deploy_job(doc["job_id"])
+            yield self.kernel.sleep(self.platform.config.lcm_reconcile_interval)
+
+    def gc_loop(self, stop_event):
+        """Garbage-collect Guardian K8S Jobs of terminal DL jobs."""
+        while not stop_event.triggered:
+            for job in list(self.platform.k8s.api.list("Job")):
+                dlaas_job = job.metadata.labels.get("dlaas-job")
+                if dlaas_job is None or not job.complete:
+                    continue
+                doc = yield from self.mongo.find_one("jobs", {"job_id": dlaas_job})
+                if doc is not None and is_terminal(doc["status"]):
+                    if job.active_pod and self.platform.k8s.api.exists("Pod", job.active_pod):
+                        pod = self.platform.k8s.api.get("Pod", job.active_pod)
+                        pod.deletion_requested = True
+                        self.platform.k8s.api.update(pod)
+                    self.platform.k8s.api.delete("Job", job.metadata.name,
+                                                 job.metadata.namespace)
+            yield self.kernel.sleep(self.platform.config.lcm_gc_interval)

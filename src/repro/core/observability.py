@@ -1,0 +1,107 @@
+"""Platform observability: utilization and job-state time series.
+
+Operating a shared GPU platform (the paper's economic motivation, §I)
+requires knowing how well the expensive hardware is utilized. The
+monitor samples cluster and job state on a fixed cadence into in-memory
+time series and produces operator summaries — the simulated analogue of
+a Prometheus + Grafana pair.
+"""
+
+
+class ClusterMonitor:
+    """Periodic sampler of GPU utilization and job states."""
+
+    def __init__(self, platform, interval=5.0):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.platform = platform
+        self.kernel = platform.kernel
+        self.interval = interval
+        self.samples = []
+        self._proc = None
+        self.running = False
+
+    def start(self):
+        if self.running:
+            return self
+        self.running = True
+        self._proc = self.kernel.spawn(self._loop(), name="cluster-monitor")
+        return self
+
+    def stop(self):
+        self.running = False
+        if self._proc is not None:
+            self._proc.kill("monitor stopped")
+            self._proc = None
+        return self
+
+    def _loop(self):
+        from ..docstore import MongoClient
+
+        mongo = MongoClient(self.kernel, self.platform.network,
+                            self.platform.mongo, caller="cluster-monitor")
+        while self.running:
+            capacity = self.platform.k8s.capacity_summary()
+            pods = self.platform.k8s.api.list("Pod")
+            phases = {}
+            for pod in pods:
+                phases[pod.phase] = phases.get(pod.phase, 0) + 1
+            try:
+                jobs = yield from mongo.find("jobs", {})
+            except Exception:
+                jobs = []
+            statuses = {}
+            for job in jobs:
+                statuses[job["status"]] = statuses.get(job["status"], 0) + 1
+            self.samples.append({
+                "time": self.kernel.now,
+                "gpus_total": capacity["gpus_total"],
+                "gpus_allocated": capacity["gpus_allocated"],
+                "nodes": capacity["nodes"],
+                "pods": phases,
+                "jobs": statuses,
+            })
+            yield self.kernel.sleep(self.interval)
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+
+    def utilization_series(self):
+        """(time, fraction-of-GPUs-allocated) points."""
+        return [
+            (s["time"], s["gpus_allocated"] / s["gpus_total"])
+            for s in self.samples if s["gpus_total"]
+        ]
+
+    def summary(self):
+        series = self.utilization_series()
+        if not series:
+            return {"samples": 0, "mean_utilization": 0.0, "peak_utilization": 0.0}
+        values = [value for _time, value in series]
+        return {
+            "samples": len(series),
+            "mean_utilization": sum(values) / len(values),
+            "peak_utilization": max(values),
+            "window_seconds": series[-1][0] - series[0][0],
+        }
+
+    def report(self, width=50):
+        """Text sparkline of GPU utilization over the sampled window."""
+        series = self.utilization_series()
+        if not series:
+            return "no samples"
+        blocks = " ▁▂▃▄▅▆▇█"
+        step = max(1, len(series) // width)
+        cells = []
+        for i in range(0, len(series), step):
+            chunk = [v for _t, v in series[i:i + step]]
+            level = sum(chunk) / len(chunk)
+            cells.append(blocks[min(8, int(level * 8 + 0.5))])
+        summary = self.summary()
+        return (
+            f"GPU utilization over {summary['window_seconds']:.0f}s "
+            f"(mean {summary['mean_utilization']:.0%}, "
+            f"peak {summary['peak_utilization']:.0%})\n"
+            f"[{''.join(cells)}]"
+        )

@@ -1,0 +1,280 @@
+"""Assembly of the whole DLaaS platform (Fig. 1 of the paper).
+
+One object builds and wires every layer:
+
+* platform layer — simulated Kubernetes cluster, 3-way-replicated ETCD
+  (Raft), MongoDB replica set, shared NFS server, cloud object store,
+  and the RPC fabric connecting them;
+* core services — API and LCM, deployed as Kubernetes Deployments and
+  registered into service load balancers;
+* per-job machinery — Guardians (K8S Jobs), helper pods and learner
+  StatefulSets are created at job-deployment time by the LCM/Guardian.
+"""
+
+from dataclasses import dataclass, field
+
+from ..cluster import ContainerSpec, Deployment, KubernetesCluster, PodSpec, PodTemplate, RESTART_ALWAYS, PodTemplate
+from ..docstore import MongoReplicaSet
+from ..frameworks import get_framework, get_model, FRAMEWORKS
+from ..grpcnet import LatencyModel, LoadBalancer, Network
+from ..nfs import NfsServer
+from ..objectstore import ObjectStore
+from ..raftkv import EtcdCluster
+from ..sim import FaultInjector, Kernel, MetricsRegistry, Tracer
+from .auth import TokenRegistry
+from .client import DlaasClient
+from .services import make_api_workload, make_lcm_workload
+
+
+@dataclass
+class PlatformConfig:
+    """Every tunable of the assembled platform, simulated seconds."""
+
+    # Topology
+    gpu_nodes: int = 4
+    gpus_per_node: int = 4
+    gpu_type: str = "k80"
+    management_nodes: int = 3
+    extra_gpu_pools: tuple = ()  # extra (count, gpus, gpu_type) pools
+    api_replicas: int = 2
+    lcm_replicas: int = 1
+    etcd_size: int = 3
+    mongo_size: int = 3
+
+    # Service boot times (drive Fig. 4 recovery bands)
+    api_init_time: float = 2.9
+    lcm_init_time: float = 4.1
+    guardian_init_time: float = 0.55
+    helper_init_time: float = 1.8
+    cos_bind_time: float = 2.5
+
+    # Core-service behaviour
+    api_service_time: float = 0.002
+    api_rate_limit: float = 50.0
+    api_rate_burst: float = 200.0
+    lcm_reconcile_interval: float = 1.0
+    lcm_gc_interval: float = 5.0
+    guardian_step_time: float = 0.15
+    guardian_backoff_limit: int = 8
+    max_deploy_attempts: int = 3
+    gang_scheduling: bool = True
+    monitor_interval: float = 1.0
+    controller_poll: float = 0.5
+    # Hang detection (extension): a PROCESSING learner whose status file
+    # has not changed for this long is reported STALLED and restarted by
+    # the Guardian. 0 disables.
+    stall_timeout: float = 90.0
+    stall_restart_cooldown: float = 60.0
+    log_collect_interval: float = 1.0
+    progress_every: int = 20
+
+    # Fabric
+    network_latency: float = 0.0008
+    network_jitter: float = 0.0006
+
+    image_sizes: dict = field(default_factory=lambda: {
+        "dlaas/api": 60.0,
+        "dlaas/lcm": 55.0,
+        "dlaas/guardian": 45.0,
+        "dlaas/helper": 120.0,
+    })
+
+
+class DlaasPlatform:
+    """The running platform: substrates + core services + user client."""
+
+    def __init__(self, kernel=None, config=None, seed=0):
+        self.kernel = kernel or Kernel(seed=seed)
+        self.config = config or PlatformConfig()
+        self.tracer = Tracer(self.kernel)
+        self.metrics = MetricsRegistry()
+        self.faults = FaultInjector(self.kernel, tracer=self.tracer)
+        self.network = Network(
+            self.kernel,
+            latency=LatencyModel(self.config.network_latency,
+                                 self.config.network_jitter),
+            tracer=None,
+        )
+        self.nfs = NfsServer(self.kernel)
+        self.object_store = ObjectStore(self.kernel)
+        self.k8s = KubernetesCluster(self.kernel, self.nfs, tracer=self.tracer)
+        self.etcd = EtcdCluster(self.kernel, self.network,
+                                size=self.config.etcd_size)
+        self.mongo = MongoReplicaSet(self.kernel, self.network,
+                                     size=self.config.mongo_size)
+        self.tokens = TokenRegistry()
+        self.api_balancer = LoadBalancer("dlaas-api")
+        self.lcm_balancer = LoadBalancer("dlaas-lcm")
+        self._build_topology()
+        self._register_images()
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def _build_topology(self):
+        for i in range(self.config.management_nodes):
+            self.k8s.add_node(f"mgmt-{i}", gpus=0, labels={"pool": "management"})
+        for i in range(self.config.gpu_nodes):
+            self.k8s.add_node(f"gpu-{i}", gpus=self.config.gpus_per_node,
+                              gpu_type=self.config.gpu_type,
+                              labels={"pool": "gpu"})
+        for pool_index, (count, gpus, gpu_type) in enumerate(self.config.extra_gpu_pools):
+            for i in range(count):
+                self.k8s.add_node(f"{gpu_type}-{pool_index}-{i}", gpus=gpus,
+                                  gpu_type=gpu_type, labels={"pool": "gpu"})
+
+    def _register_images(self):
+        for image, size in self.config.image_sizes.items():
+            self.k8s.registry.register(image, size)
+        for framework in FRAMEWORKS.values():
+            self.k8s.registry.register(framework.image, framework.image_size_mb)
+        # DaemonSet-style pre-pull of the small platform images on every
+        # node: core services must restart fast (Fig. 4).
+        for node_name in self.k8s.kubelets:
+            for image in self.config.image_sizes:
+                self.k8s.registry.prewarm(node_name, image)
+
+    def framework_image(self, framework_name):
+        return get_framework(framework_name).image
+
+    def model_size_mb(self, manifest):
+        return get_model(manifest.model).checkpoint_mb
+
+    def model_default_batch(self, manifest):
+        return get_model(manifest.model).default_batch_per_gpu
+
+    # ------------------------------------------------------------------
+    # Startup
+    # ------------------------------------------------------------------
+
+    def start(self, settle=True):
+        """Boot every layer; with ``settle`` the clock advances until the
+        control plane is ready (leader elected, API pods serving)."""
+        if self._started:
+            return self
+        self._started = True
+        self.k8s.start()
+        self.etcd.start()
+        self.mongo.start()
+        self._create_indexes()
+        self._deploy_core_services()
+        if settle:
+            self.kernel.run(until=self.kernel.now + 15.0)
+        return self
+
+    def _create_indexes(self):
+        # Bootstrap-time schema setup, directly on the primary (the
+        # replication stream mirrors collections created later).
+        for member in self.mongo.members.values():
+            member.database.collection("jobs").create_index("job_id", unique=True)
+            member.database.collection("counters").create_index("_id_name", unique=True)
+
+    def _deploy_core_services(self):
+        self.k8s.api.create(Deployment(
+            "dlaas-api",
+            PodTemplate(self._api_pod_spec, labels={"dlaas": "core", "app": "api"}),
+            replicas=self.config.api_replicas,
+        ))
+        self.k8s.api.create(Deployment(
+            "dlaas-lcm",
+            PodTemplate(self._lcm_pod_spec, labels={"dlaas": "core", "app": "lcm"}),
+            replicas=self.config.lcm_replicas,
+        ))
+
+    def _api_pod_spec(self):
+        return PodSpec(
+            containers=[ContainerSpec("api", "dlaas/api",
+                                      workload=make_api_workload(self))],
+            restart_policy=RESTART_ALWAYS,
+            node_selector={"pool": "management"},
+        )
+
+    def _lcm_pod_spec(self):
+        return PodSpec(
+            containers=[ContainerSpec("lcm", "dlaas/lcm",
+                                      workload=make_lcm_workload(self))],
+            restart_policy=RESTART_ALWAYS,
+            node_selector={"pool": "management"},
+        )
+
+    # ------------------------------------------------------------------
+    # User-facing conveniences
+    # ------------------------------------------------------------------
+
+    def enable_autoscaler(self, min_nodes=0, max_nodes=8, boot_time=90.0,
+                          idle_timeout=300.0, gpus=None, gpu_type=None):
+        """Turn on GPU-pool elasticity (the paper's elasticity goal).
+
+        New nodes match the platform's GPU pool shape unless overridden.
+        Returns the started :class:`ClusterAutoscaler`.
+        """
+        from ..cluster import ClusterAutoscaler, NodeTemplate
+
+        template = NodeTemplate(
+            gpus=gpus or self.config.gpus_per_node,
+            gpu_type=gpu_type or self.config.gpu_type,
+        )
+        autoscaler = ClusterAutoscaler(
+            self.kernel, self.k8s, template=template, min_nodes=min_nodes,
+            max_nodes=max_nodes, boot_time=boot_time, idle_timeout=idle_timeout,
+        )
+        self.k8s.controllers.append(autoscaler)
+        if self._started:
+            autoscaler.start()
+        return autoscaler
+
+    def client(self, tenant="default"):
+        token = self.tokens.create_tenant(tenant)
+        return DlaasClient(self, token)
+
+    def monitor(self, interval=5.0):
+        """Start a :class:`ClusterMonitor` sampling utilization."""
+        from .observability import ClusterMonitor
+
+        return ClusterMonitor(self, interval=interval).start()
+
+    def admin_report(self):
+        """Process generator: cross-tenant platform rollup (admin view).
+
+        Uses the document store's aggregation pipeline: jobs by tenant
+        and status, plus total GPU-seconds from metering.
+        """
+        from ..docstore import MongoClient
+
+        mongo = MongoClient(self.kernel, self.network, self.mongo,
+                            caller="admin-report")
+        jobs = yield from mongo.aggregate("jobs", [
+            {"$group": {"_id": "$tenant",
+                        "jobs": {"$count": 1},
+                        "statuses": {"$push": "$status"}}},
+            {"$sort": {"jobs": -1}},
+        ])
+        usage = yield from mongo.aggregate("metering", [
+            {"$group": {"_id": "$tenant",
+                        "gpu_seconds": {"$sum": "$gpu_seconds"},
+                        "api_calls": {"$sum": "$api_calls_total"}}},
+            {"$sort": {"gpu_seconds": -1}},
+        ])
+        return {"jobs_by_tenant": jobs, "usage_by_tenant": usage,
+                "capacity": self.k8s.capacity_summary()}
+
+    def seed_training_data(self, bucket, credentials, size_mb):
+        """Create a bucket with a dataset object (what users stage to COS)."""
+        if bucket not in self.object_store.bucket_names():
+            self.object_store.create_bucket(bucket, credentials)
+        self.object_store.put_object(bucket, "dataset", credentials,
+                                     size=int(size_mb * 1_000_000))
+
+    def ensure_results_bucket(self, bucket, credentials):
+        if bucket not in self.object_store.bucket_names():
+            self.object_store.create_bucket(bucket, credentials)
+
+    def run_process(self, generator, limit=None):
+        """Spawn a generator and run the simulation to its completion."""
+        return self.kernel.run_until_complete(self.kernel.spawn(generator),
+                                              limit=limit)
+
+    def run_for(self, seconds):
+        self.kernel.run(until=self.kernel.now + seconds)

@@ -1,0 +1,65 @@
+"""Core-service pod workloads: API and LCM as Kubernetes Deployments.
+
+"All containerized DLaaS core services are executed as K8S deployments,
+exposed through the K8S service abstraction" (§III.b). Each pod boots
+the service, registers its endpoint into the platform's load balancer
+(the service registry), serves until stopped, and unregisters — the
+endpoint-controller behaviour that gives incoming requests fail-over.
+"""
+
+from ..sim.errors import ProcessKilled
+from .api import ApiService
+from .lcm import LcmService
+
+
+def make_api_workload(platform):
+    def workload(ctx):
+        kernel = ctx.kernel
+        address = f"api:{ctx.pod.metadata.name}"
+        yield kernel.sleep(platform.config.api_init_time)
+        service = ApiService(platform, address)
+        try:
+            service.server.start()
+            platform.api_balancer.add(address)
+            platform.tracer.emit("api", "component-ready", pod=ctx.pod.metadata.name)
+            yield ctx.stop_event
+        finally:
+            # Pod gone (gracefully or not): the endpoint controller
+            # removes it from the service registry.
+            platform.api_balancer.remove(address)
+            service.server.stop()
+        return 0
+
+    return workload
+
+
+def make_lcm_workload(platform):
+    def workload(ctx):
+        kernel = ctx.kernel
+        address = f"lcm:{ctx.pod.metadata.name}"
+        yield kernel.sleep(platform.config.lcm_init_time)
+        service = LcmService(platform, address)
+        stop = kernel.event()
+        reconciler = collector = None
+        try:
+            service.server.start()
+            platform.lcm_balancer.add(address)
+            reconciler = kernel.spawn(service.reconcile_loop(stop),
+                                      name=f"{address}:reconcile")
+            collector = kernel.spawn(service.gc_loop(stop), name=f"{address}:gc")
+            platform.tracer.emit("lcm", "component-ready", pod=ctx.pod.metadata.name)
+            yield ctx.stop_event
+        except ProcessKilled:
+            raise
+        finally:
+            platform.lcm_balancer.remove(address)
+            service.server.stop()
+            if not stop.triggered:
+                stop.succeed()
+            if reconciler is not None:
+                reconciler.kill("lcm pod stopped")
+            if collector is not None:
+                collector.kill("lcm pod stopped")
+        return 0
+
+    return workload

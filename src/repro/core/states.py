@@ -1,0 +1,102 @@
+"""The DL job lifecycle state machine.
+
+Users rely on these statuses (with timestamps) for profiling and
+debugging, so updates must be dependable and ordered (paper §II).
+Transitions are strictly validated: a job can only move forward along
+the lifecycle, or sideways into FAILED/HALTED.
+"""
+
+from .errors import IllegalTransition
+
+QUEUED = "QUEUED"
+DEPLOYING = "DEPLOYING"
+DOWNLOADING = "DOWNLOADING"
+PROCESSING = "PROCESSING"
+STORING = "STORING"
+COMPLETED = "COMPLETED"
+FAILED = "FAILED"
+HALTED = "HALTED"
+
+ALL_STATUSES = (QUEUED, DEPLOYING, DOWNLOADING, PROCESSING, STORING,
+                COMPLETED, FAILED, HALTED)
+
+TERMINAL_STATUSES = frozenset({COMPLETED, FAILED, HALTED})
+
+# Forward edges of the lifecycle. FAILED/HALTED are reachable from any
+# non-terminal state; re-deployment after a crash may also legally move
+# a job *backwards* from DOWNLOADING/PROCESSING to DEPLOYING (the
+# Guardian rolled back a partial deployment and is trying again).
+_TRANSITIONS = {
+    QUEUED: {DEPLOYING},
+    DEPLOYING: {DOWNLOADING, PROCESSING},
+    DOWNLOADING: {PROCESSING, DEPLOYING},
+    PROCESSING: {STORING, COMPLETED, DEPLOYING},
+    STORING: {COMPLETED},
+    COMPLETED: set(),
+    FAILED: set(),
+    HALTED: set(),
+}
+
+_RANK = {status: index for index, status in enumerate(ALL_STATUSES)}
+
+
+def validate_transition(current, requested):
+    """Raise :class:`IllegalTransition` unless current -> requested is legal."""
+    if current == requested:
+        return
+    if current in TERMINAL_STATUSES:
+        raise IllegalTransition(current, requested)
+    if requested in (FAILED, HALTED):
+        return
+    if requested not in _TRANSITIONS.get(current, set()):
+        raise IllegalTransition(current, requested)
+
+
+def is_terminal(status):
+    return status in TERMINAL_STATUSES
+
+
+def aggregate_learner_statuses(statuses):
+    """Combine per-learner statuses into a job-level status (§III.f).
+
+    The Guardian reads each learner's status from ETCD and records the
+    overall job status in MongoDB. A job is only as far along as its
+    slowest learner; any failed learner fails the aggregate.
+    """
+    if not statuses:
+        return DEPLOYING
+    if any(s == FAILED for s in statuses):
+        return FAILED
+    if any(s == HALTED for s in statuses):
+        return HALTED
+    return min(statuses, key=lambda s: _RANK[s])
+
+
+class StatusHistory:
+    """An ordered status trail with timestamps (what users see)."""
+
+    def __init__(self, initial=QUEUED, time=0.0):
+        self.entries = [(initial, time)]
+
+    @property
+    def current(self):
+        return self.entries[-1][0]
+
+    def advance(self, status, time):
+        """Record a transition (validated); no-op on same status."""
+        if status == self.current:
+            return False
+        validate_transition(self.current, status)
+        self.entries.append((status, time))
+        return True
+
+    def time_in(self, status):
+        """Total time spent in ``status`` (until the next transition)."""
+        total = 0.0
+        for (state, start), (_next_state, end) in zip(self.entries, self.entries[1:]):
+            if state == status:
+                total += end - start
+        return total
+
+    def as_documents(self):
+        return [{"status": status, "time": time} for status, time in self.entries]

@@ -1,0 +1,52 @@
+"""Per-job timelines: the debugging view the paper's users need.
+
+§II: users rely on status timestamps "for job profiling and debugging".
+This module merges everything the platform knows about one job — status
+transitions, Kubernetes events for its pods, trace events from its
+Guardian/controller/learners, injected faults — into one ordered,
+human-readable timeline.
+"""
+
+
+def job_timeline(platform, job_id, status_doc=None):
+    """All events concerning ``job_id`` as (time, source, text), sorted."""
+    entries = []
+
+    if status_doc is not None:
+        for item in status_doc.get("status_history", []):
+            entries.append((item["time"], "status", item["status"]))
+
+    for record in platform.tracer.records:
+        if record.fields.get("job") == job_id:
+            detail = {k: v for k, v in record.fields.items() if k != "job"}
+            text = record.kind + (f" {detail}" if detail else "")
+            entries.append((record.time, record.component, text))
+        elif record.component == "fault-injector" and \
+                job_id in str(record.fields.get("target", "")):
+            entries.append((record.time, "fault", str(record.fields["target"])))
+
+    for event in platform.k8s.api.events:
+        if job_id in event.name or job_id in event.message:
+            entries.append((event.time, f"k8s:{event.kind.lower()}",
+                            f"{event.reason} {event.name}"
+                            + (f" ({event.message})" if event.message else "")))
+
+    entries.sort(key=lambda item: item[0])
+    return entries
+
+
+def render_timeline(entries, limit=None):
+    """Format timeline entries as aligned text lines."""
+    if limit is not None and len(entries) > limit:
+        skipped = len(entries) - limit
+        entries = entries[:limit // 2] + entries[-(limit - limit // 2):]
+        marker = [(None, None, f"... {skipped} events elided ...")]
+        entries = entries[: limit // 2] + marker + entries[limit // 2:]
+    width = max((len(source) for _t, source, _x in entries if source), default=6)
+    lines = []
+    for time, source, text in entries:
+        if time is None:
+            lines.append(f"{'':>10}  {text}")
+        else:
+            lines.append(f"{time:>9.2f}s  {source:<{width}}  {text}")
+    return "\n".join(lines)

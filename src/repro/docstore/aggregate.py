@@ -1,0 +1,138 @@
+"""A small Mongo-style aggregation pipeline.
+
+Supports the stages platform reporting needs: ``$match``, ``$group``
+(with ``$sum``/``$avg``/``$min``/``$max``/``$count`` accumulators and
+``"$field"`` references), ``$sort``, ``$project``, ``$limit`` and
+``$skip``. Enough to roll up metering by tenant or jobs by status
+without hauling documents into application code.
+"""
+
+from .errors import InvalidQuery
+from .query import _MISSING, get_path, matches
+from .update import _deep_copy
+
+
+def aggregate(documents, pipeline):
+    """Run ``pipeline`` over ``documents``; returns result documents."""
+    if not isinstance(pipeline, (list, tuple)):
+        raise InvalidQuery("pipeline must be a list of stages")
+    current = [_deep_copy(doc) for doc in documents]
+    for stage in pipeline:
+        if not isinstance(stage, dict) or len(stage) != 1:
+            raise InvalidQuery(f"each stage must be a single-key dict: {stage!r}")
+        op, spec = next(iter(stage.items()))
+        handler = _STAGES.get(op)
+        if handler is None:
+            raise InvalidQuery(f"unknown pipeline stage {op!r}")
+        current = handler(current, spec)
+    return current
+
+
+def _resolve(doc, ref):
+    """Evaluate a value spec: "$field" reference or literal."""
+    if isinstance(ref, str) and ref.startswith("$"):
+        value = get_path(doc, ref[1:])
+        return None if value is _MISSING else value
+    return ref
+
+
+def _stage_match(docs, spec):
+    return [doc for doc in docs if matches(doc, spec)]
+
+
+def _stage_limit(docs, spec):
+    if not isinstance(spec, int) or spec < 0:
+        raise InvalidQuery("$limit needs a non-negative int")
+    return docs[:spec]
+
+
+def _stage_skip(docs, spec):
+    if not isinstance(spec, int) or spec < 0:
+        raise InvalidQuery("$skip needs a non-negative int")
+    return docs[spec:]
+
+
+def _stage_sort(docs, spec):
+    out = list(docs)
+    for field, direction in reversed(list(spec.items())):
+        if direction not in (1, -1):
+            raise InvalidQuery("sort direction must be 1 or -1")
+        out.sort(
+            key=lambda d: ((v := get_path(d, field)) is _MISSING, v is None, v),
+            reverse=direction == -1,
+        )
+    return out
+
+
+def _stage_project(docs, spec):
+    out = []
+    for doc in docs:
+        projected = {}
+        for name, rule in spec.items():
+            if rule in (1, True):
+                value = get_path(doc, name)
+                if value is not _MISSING:
+                    projected[name] = value
+            elif rule in (0, False):
+                continue
+            else:
+                projected[name] = _resolve(doc, rule)
+        if "_id" in doc and "_id" not in spec:
+            projected["_id"] = doc["_id"]
+        out.append(projected)
+    return out
+
+
+def _stage_group(docs, spec):
+    if "_id" not in spec:
+        raise InvalidQuery("$group needs an _id expression")
+    groups = {}
+    order = []
+    for doc in docs:
+        key = _resolve(doc, spec["_id"])
+        marker = repr(key)
+        if marker not in groups:
+            groups[marker] = {"_id": key, "_docs": []}
+            order.append(marker)
+        groups[marker]["_docs"].append(doc)
+
+    out = []
+    for marker in order:
+        bucket = groups[marker]
+        result = {"_id": bucket["_id"]}
+        for name, accumulator in spec.items():
+            if name == "_id":
+                continue
+            if not isinstance(accumulator, dict) or len(accumulator) != 1:
+                raise InvalidQuery(f"bad accumulator for {name!r}")
+            op, ref = next(iter(accumulator.items()))
+            values = [
+                v for v in (_resolve(doc, ref) for doc in bucket["_docs"])
+                if v is not None
+            ]
+            if op == "$count":
+                result[name] = len(bucket["_docs"])
+            elif op == "$sum":
+                result[name] = sum(values) if values else 0
+            elif op == "$avg":
+                result[name] = sum(values) / len(values) if values else None
+            elif op == "$min":
+                result[name] = min(values) if values else None
+            elif op == "$max":
+                result[name] = max(values) if values else None
+            elif op == "$push":
+                result[name] = values
+            else:
+                raise InvalidQuery(f"unknown accumulator {op!r}")
+        out.append(result)
+    return out
+
+
+_STAGES = {
+    "$match": _stage_match,
+    "$group": _stage_group,
+    "$sort": _stage_sort,
+    "$project": _stage_project,
+    "$limit": _stage_limit,
+    "$skip": _stage_skip,
+}

@@ -1,0 +1,215 @@
+"""A document collection: CRUD, queries, sort/limit, unique indexes."""
+
+from .errors import DuplicateKeyError, InvalidQuery
+from .objectid import ObjectId
+from .query import _MISSING, get_path, matches
+from .update import _deep_copy, apply_update
+
+
+class Collection:
+    """An ordered bag of documents keyed by ``_id``.
+
+    Documents are deep-copied at the API boundary in both directions, so
+    callers can never mutate stored state behind the store's back — the
+    property a real out-of-process database gives you.
+    """
+
+    def __init__(self, name):
+        self.name = name
+        self._documents = {}
+        self._insertion_order = []
+        self._unique_indexes = {}
+
+    def __len__(self):
+        return len(self._documents)
+
+    # ------------------------------------------------------------------
+    # Indexes
+    # ------------------------------------------------------------------
+
+    def create_index(self, field, unique=False):
+        """Create an index on ``field``; only unique indexes have teeth.
+
+        (Query planning is linear scan regardless — collections here
+        hold thousands of documents, not billions.)
+        """
+        if not unique:
+            return
+        seen = {}
+        for doc in self._iter_docs():
+            value = get_path(doc, field)
+            if value is _MISSING:
+                continue
+            marker = self._index_key(value)
+            if marker in seen:
+                raise DuplicateKeyError(field, value)
+            seen[marker] = doc["_id"]
+        self._unique_indexes[field] = seen
+
+    @staticmethod
+    def _index_key(value):
+        if isinstance(value, list):
+            return ("list", tuple(value))
+        if isinstance(value, dict):
+            return ("dict", tuple(sorted(value.items())))
+        return value
+
+    def _check_unique(self, doc, ignore_id=None):
+        for field, seen in self._unique_indexes.items():
+            value = get_path(doc, field)
+            if value is _MISSING:
+                continue
+            holder = seen.get(self._index_key(value))
+            if holder is not None and holder != ignore_id:
+                raise DuplicateKeyError(field, value)
+
+    def _index_doc(self, doc):
+        for field, seen in self._unique_indexes.items():
+            value = get_path(doc, field)
+            if value is not _MISSING:
+                seen[self._index_key(value)] = doc["_id"]
+
+    def _unindex_doc(self, doc):
+        for field, seen in self._unique_indexes.items():
+            value = get_path(doc, field)
+            if value is not _MISSING:
+                seen.pop(self._index_key(value), None)
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+
+    def insert_one(self, document):
+        doc = _deep_copy(document)
+        doc.setdefault("_id", ObjectId())
+        if doc["_id"] in self._documents:
+            raise DuplicateKeyError("_id", doc["_id"])
+        self._check_unique(doc)
+        self._documents[doc["_id"]] = doc
+        self._insertion_order.append(doc["_id"])
+        self._index_doc(doc)
+        return doc["_id"]
+
+    def insert_many(self, documents):
+        return [self.insert_one(doc) for doc in documents]
+
+    def update_one(self, query, update, upsert=False):
+        """Update the first match; returns (matched, modified)."""
+        doc = self._find_first(query)
+        if doc is None:
+            if upsert:
+                seed = {k: v for k, v in query.items() if not k.startswith("$")
+                        and not isinstance(v, dict)}
+                self.insert_one(apply_update(seed, update))
+                return (0, 1)
+            return (0, 0)
+        return (1, self._apply_to(doc, update))
+
+    def update_many(self, query, update):
+        docs = [d for d in self._iter_docs() if matches(d, query)]
+        modified = sum(self._apply_to(doc, update) for doc in docs)
+        return (len(docs), modified)
+
+    def replace_one(self, query, replacement, upsert=False):
+        return self.update_one(query, replacement, upsert=upsert)
+
+    def _apply_to(self, doc, update):
+        new_doc = apply_update(doc, update)
+        if new_doc == doc:
+            return 0
+        self._check_unique(new_doc, ignore_id=doc["_id"])
+        self._unindex_doc(doc)
+        self._documents[doc["_id"]] = new_doc
+        self._index_doc(new_doc)
+        return 1
+
+    def find_one_and_update(self, query, update, return_new=True):
+        """Atomic read-modify-write; returns the doc (new or old) or None."""
+        doc = self._find_first(query)
+        if doc is None:
+            return None
+        before = _deep_copy(doc)
+        self._apply_to(doc, update)
+        after = self._documents[doc["_id"]]
+        return _deep_copy(after if return_new else before)
+
+    def delete_one(self, query):
+        doc = self._find_first(query)
+        if doc is None:
+            return 0
+        self._remove(doc)
+        return 1
+
+    def delete_many(self, query):
+        docs = [d for d in self._iter_docs() if matches(d, query)]
+        for doc in docs:
+            self._remove(doc)
+        return len(docs)
+
+    def _remove(self, doc):
+        del self._documents[doc["_id"]]
+        self._insertion_order.remove(doc["_id"])
+        self._unindex_doc(doc)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def _iter_docs(self):
+        for doc_id in self._insertion_order:
+            yield self._documents[doc_id]
+
+    def _find_first(self, query):
+        for doc in self._iter_docs():
+            if matches(doc, query):
+                return doc
+        return None
+
+    def find_one(self, query=None):
+        doc = self._find_first(query or {})
+        return _deep_copy(doc) if doc is not None else None
+
+    def find(self, query=None, sort=None, limit=None, skip=0, projection=None):
+        """Matching documents as copies, optionally sorted/limited.
+
+        ``sort`` is a list of ``(field, direction)`` with direction 1 or
+        -1; ``projection`` is a list of field names to keep (plus _id).
+        """
+        query = query or {}
+        out = [doc for doc in self._iter_docs() if matches(doc, query)]
+        if sort:
+            for field, direction in reversed(sort):
+                if direction not in (1, -1):
+                    raise InvalidQuery(f"sort direction must be 1 or -1: {direction}")
+                out.sort(
+                    key=lambda d: ((v := get_path(d, field)) is _MISSING, v is None, v),
+                    reverse=direction == -1,
+                )
+        if skip:
+            out = out[skip:]
+        if limit is not None:
+            out = out[:limit]
+        if projection is not None:
+            keep = set(projection) | {"_id"}
+            out = [{k: v for k, v in doc.items() if k in keep} for doc in out]
+        return [_deep_copy(doc) for doc in out]
+
+    def count_documents(self, query=None):
+        query = query or {}
+        return sum(1 for doc in self._iter_docs() if matches(doc, query))
+
+    def aggregate(self, pipeline):
+        """Run a Mongo-style aggregation pipeline over this collection."""
+        from .aggregate import aggregate
+
+        return aggregate(list(self._iter_docs()), pipeline)
+
+    def distinct(self, field, query=None):
+        query = query or {}
+        seen = []
+        for doc in self._iter_docs():
+            if matches(doc, query):
+                value = get_path(doc, field)
+                if value is not _MISSING and value not in seen:
+                    seen.append(value)
+        return seen

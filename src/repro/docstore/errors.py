@@ -1,0 +1,26 @@
+"""Errors for the document store."""
+
+
+class DocstoreError(Exception):
+    """Base class for document-store errors."""
+
+
+class DuplicateKeyError(DocstoreError):
+    """Insert/update violated a unique index."""
+
+    def __init__(self, index, value):
+        super().__init__(f"duplicate value {value!r} for unique index {index!r}")
+        self.index = index
+        self.value = value
+
+
+class InvalidQuery(DocstoreError):
+    """Malformed filter document."""
+
+
+class InvalidUpdate(DocstoreError):
+    """Malformed update document."""
+
+
+class NoPrimary(DocstoreError):
+    """The replica set has no primary to accept writes."""

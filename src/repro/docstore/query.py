@@ -1,0 +1,129 @@
+"""Mongo-style query filter evaluation.
+
+Supports the operator subset the platform (and its tests) rely on:
+``$eq $ne $gt $gte $lt $lte $in $nin $exists $regex $not $and $or $nor``
+plus dotted-path field access and implicit equality.
+"""
+
+import re
+
+from .errors import InvalidQuery
+
+_MISSING = object()
+
+
+def get_path(document, path):
+    """Resolve a dotted path; returns ``_MISSING`` when absent."""
+    current = document
+    for part in path.split("."):
+        if isinstance(current, dict):
+            if part not in current:
+                return _MISSING
+            current = current[part]
+        elif isinstance(current, list):
+            try:
+                index = int(part)
+            except ValueError:
+                return _MISSING
+            if not 0 <= index < len(current):
+                return _MISSING
+            current = current[index]
+        else:
+            return _MISSING
+    return current
+
+
+def _compare(op, actual, expected):
+    if op in ("$gt", "$gte", "$lt", "$lte"):
+        if actual is _MISSING or actual is None:
+            return False
+        try:
+            if op == "$gt":
+                return actual > expected
+            if op == "$gte":
+                return actual >= expected
+            if op == "$lt":
+                return actual < expected
+            return actual <= expected
+        except TypeError:
+            return False
+    raise InvalidQuery(f"unknown comparison {op!r}")
+
+
+def _match_operators(actual, operators, path):
+    for op, operand in operators.items():
+        if op == "$eq":
+            if not _values_equal(actual, operand):
+                return False
+        elif op == "$ne":
+            if _values_equal(actual, operand):
+                return False
+        elif op in ("$gt", "$gte", "$lt", "$lte"):
+            if not _compare(op, actual, operand):
+                return False
+        elif op == "$in":
+            if not isinstance(operand, (list, tuple)):
+                raise InvalidQuery(f"$in needs a list at {path!r}")
+            if not any(_values_equal(actual, candidate) for candidate in operand):
+                return False
+        elif op == "$nin":
+            if not isinstance(operand, (list, tuple)):
+                raise InvalidQuery(f"$nin needs a list at {path!r}")
+            if any(_values_equal(actual, candidate) for candidate in operand):
+                return False
+        elif op == "$exists":
+            if bool(operand) != (actual is not _MISSING):
+                return False
+        elif op == "$regex":
+            if actual is _MISSING or not isinstance(actual, str):
+                return False
+            if re.search(operand, actual) is None:
+                return False
+        elif op == "$not":
+            if not isinstance(operand, dict):
+                raise InvalidQuery(f"$not needs an operator document at {path!r}")
+            if _match_operators(actual, operand, path):
+                return False
+        else:
+            raise InvalidQuery(f"unknown operator {op!r} at {path!r}")
+    return True
+
+
+def _values_equal(actual, expected):
+    if actual is _MISSING:
+        return expected is None
+    if isinstance(actual, list) and not isinstance(expected, list):
+        # Mongo array-contains semantics.
+        return any(_values_equal(item, expected) for item in actual)
+    return actual == expected
+
+
+def _is_operator_doc(value):
+    return isinstance(value, dict) and value and all(k.startswith("$") for k in value)
+
+
+def matches(document, query):
+    """True if ``document`` satisfies the Mongo-style ``query``."""
+    if not isinstance(query, dict):
+        raise InvalidQuery(f"query must be a dict, got {type(query).__name__}")
+    for key, condition in query.items():
+        if key == "$and":
+            if not all(matches(document, sub) for sub in condition):
+                return False
+        elif key == "$or":
+            if not any(matches(document, sub) for sub in condition):
+                return False
+        elif key == "$nor":
+            if any(matches(document, sub) for sub in condition):
+                return False
+        elif key.startswith("$"):
+            raise InvalidQuery(f"unknown top-level operator {key!r}")
+        else:
+            actual = get_path(document, key)
+            if _is_operator_doc(condition):
+                if not _match_operators(actual, condition, key):
+                    return False
+            else:
+                if not _values_equal(actual, condition):
+                    return False
+    return True

@@ -1,0 +1,125 @@
+"""Mongo-style update application.
+
+Supports ``$set $unset $inc $min $max $push $pull $addToSet $rename``
+with dotted paths, and whole-document replacement. Updates mutate a
+*copy* — collections own their stored documents.
+"""
+
+from .errors import InvalidUpdate
+
+_OPERATORS = frozenset(
+    {"$set", "$unset", "$inc", "$min", "$max", "$push", "$pull", "$addToSet", "$rename"}
+)
+
+
+def is_update_document(update):
+    """True for operator-style updates, False for replacements."""
+    if not isinstance(update, dict):
+        raise InvalidUpdate(f"update must be a dict, got {type(update).__name__}")
+    has_ops = any(key.startswith("$") for key in update)
+    if has_ops and not all(key.startswith("$") for key in update):
+        raise InvalidUpdate("cannot mix operators and plain fields in one update")
+    return has_ops
+
+
+def _walk_to_parent(document, path, create=True):
+    parts = path.split(".")
+    current = document
+    for part in parts[:-1]:
+        if not isinstance(current, dict):
+            raise InvalidUpdate(f"cannot descend into non-document at {part!r} of {path!r}")
+        if part not in current:
+            if not create:
+                return None, parts[-1]
+            current[part] = {}
+        current = current[part]
+    if not isinstance(current, dict):
+        raise InvalidUpdate(f"cannot set field on non-document at {path!r}")
+    return current, parts[-1]
+
+
+def apply_update(document, update):
+    """Return a new document with ``update`` applied."""
+    if not is_update_document(update):
+        replacement = dict(update)
+        if "_id" in document:
+            replacement.setdefault("_id", document["_id"])
+            if replacement["_id"] != document["_id"]:
+                raise InvalidUpdate("cannot change _id in a replacement")
+        return replacement
+
+    result = _deep_copy(document)
+    for op, fields in update.items():
+        if op not in _OPERATORS:
+            raise InvalidUpdate(f"unknown update operator {op!r}")
+        if not isinstance(fields, dict):
+            raise InvalidUpdate(f"{op} needs a field document")
+        for path, operand in fields.items():
+            if path == "_id" or path.startswith("_id."):
+                raise InvalidUpdate("cannot update _id")
+            _apply_field(result, op, path, operand)
+    return result
+
+
+def _apply_field(document, op, path, operand):
+    if op == "$unset":
+        parent, leaf = _walk_to_parent(document, path, create=False)
+        if parent is not None:
+            parent.pop(leaf, None)
+        return
+    if op == "$rename":
+        parent, leaf = _walk_to_parent(document, path, create=False)
+        if parent is None or leaf not in parent:
+            return
+        value = parent.pop(leaf)
+        new_parent, new_leaf = _walk_to_parent(document, operand, create=True)
+        new_parent[new_leaf] = value
+        return
+
+    parent, leaf = _walk_to_parent(document, path, create=True)
+    current = parent.get(leaf)
+
+    if op == "$set":
+        parent[leaf] = _deep_copy(operand)
+    elif op == "$inc":
+        if current is None:
+            parent[leaf] = operand
+        elif isinstance(current, (int, float)) and not isinstance(current, bool):
+            parent[leaf] = current + operand
+        else:
+            raise InvalidUpdate(f"$inc on non-numeric field {path!r}")
+    elif op == "$min":
+        if current is None or operand < current:
+            parent[leaf] = operand
+    elif op == "$max":
+        if current is None or operand > current:
+            parent[leaf] = operand
+    elif op == "$push":
+        if current is None:
+            parent[leaf] = [_deep_copy(operand)]
+        elif isinstance(current, list):
+            current.append(_deep_copy(operand))
+        else:
+            raise InvalidUpdate(f"$push on non-array field {path!r}")
+    elif op == "$pull":
+        if current is None:
+            return
+        if not isinstance(current, list):
+            raise InvalidUpdate(f"$pull on non-array field {path!r}")
+        parent[leaf] = [item for item in current if item != operand]
+    elif op == "$addToSet":
+        if current is None:
+            parent[leaf] = [_deep_copy(operand)]
+        elif isinstance(current, list):
+            if operand not in current:
+                current.append(_deep_copy(operand))
+        else:
+            raise InvalidUpdate(f"$addToSet on non-array field {path!r}")
+
+
+def _deep_copy(value):
+    if isinstance(value, dict):
+        return {k: _deep_copy(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_deep_copy(v) for v in value]
+    return value

@@ -1,0 +1,100 @@
+"""DL framework adapters: Caffe, TensorFlow, PyTorch, Horovod.
+
+DLaaS is framework-agnostic: it keeps a Docker image per framework and
+treats the learner as a black box (paper §III.a). What the platform
+*does* need to know — and what these adapters capture — is the image to
+pull, how long the runtime takes to initialize (framework startup
+dominates learner recovery time in Fig. 4), how gradient synchronization
+is organized, and how well communication overlaps with compute.
+"""
+
+from dataclasses import dataclass
+
+PARAMETER_SERVER = "parameter-server"
+ALLREDUCE = "allreduce"
+
+
+@dataclass(frozen=True)
+class FrameworkSpec:
+    """One supported DL framework."""
+
+    name: str
+    version: str
+    image: str
+    image_size_mb: float
+    # Seconds from container start to first training step (CUDA init,
+    # graph construction, data pipeline warmup).
+    startup_time: float
+    # Fraction of communication hidden under backward compute.
+    overlap_fraction: float
+    # Fixed per-step coordination cost with >1 GPU, seconds per extra
+    # GPU, when running over PCIe/Ethernet (session-run and variable
+    # scatter costs). NCCL/NVLink builds avoid most of it.
+    sync_overhead_per_gpu: float
+    distribution_mode: str
+    supports_multi_node: bool
+
+    def sync_overhead(self, total_gpus, interconnect):
+        if total_gpus <= 1:
+            return 0.0
+        if interconnect.name == "nvlink":
+            return 0.1 * self.sync_overhead_per_gpu * (total_gpus - 1)
+        return self.sync_overhead_per_gpu * (total_gpus - 1)
+
+
+CAFFE = FrameworkSpec(
+    name="caffe",
+    version="1.0",
+    image="dlaas/caffe:1.0-gpu",
+    image_size_mb=2600.0,
+    startup_time=6.0,
+    overlap_fraction=0.35,
+    sync_overhead_per_gpu=0.004,
+    distribution_mode=ALLREDUCE,  # single-node tree reduction
+    supports_multi_node=False,
+)
+
+TENSORFLOW = FrameworkSpec(
+    name="tensorflow",
+    version="1.5",
+    image="dlaas/tensorflow:1.5-gpu",
+    image_size_mb=3400.0,
+    startup_time=9.0,
+    overlap_fraction=0.65,
+    sync_overhead_per_gpu=0.008,
+    distribution_mode=PARAMETER_SERVER,
+    supports_multi_node=True,
+)
+
+PYTORCH = FrameworkSpec(
+    name="pytorch",
+    version="0.4",
+    image="dlaas/pytorch:0.4-gpu",
+    image_size_mb=2900.0,
+    startup_time=7.0,
+    overlap_fraction=0.55,
+    sync_overhead_per_gpu=0.003,
+    distribution_mode=ALLREDUCE,
+    supports_multi_node=True,
+)
+
+HOROVOD = FrameworkSpec(
+    name="horovod",
+    version="0.13",
+    image="dlaas/horovod-tensorflow:0.13",
+    image_size_mb=3600.0,
+    startup_time=11.0,  # MPI wire-up on top of TF init
+    overlap_fraction=0.65,
+    sync_overhead_per_gpu=0.002,
+    distribution_mode=ALLREDUCE,
+    supports_multi_node=True,
+)
+
+FRAMEWORKS = {f.name: f for f in (CAFFE, TENSORFLOW, PYTORCH, HOROVOD)}
+
+
+def get_framework(name):
+    try:
+        return FRAMEWORKS[name.lower()]
+    except KeyError:
+        raise KeyError(f"unknown framework {name!r}; have {sorted(FRAMEWORKS)}") from None

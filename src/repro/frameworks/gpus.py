@@ -1,0 +1,78 @@
+"""GPU and interconnect specifications.
+
+The paper's evaluation hardware: PCIe K80 and P100 boards on IBM Cloud
+(Figs. 2–3), and the NVidia DGX-1 with SXM2 P100s, NVLink and HBM
+(Fig. 3).
+
+Calibration note: the model separates *compute* (``sustained_tflops``
+times the model's ``compute_efficiency``) from a *memory-bandwidth
+shortfall* (``hbm_shortfall``) that penalizes bandwidth-sensitive
+models on PCIe parts. On a single GPU the DGX-1 advantage is purely
+``model.memory_bw_sensitivity * gpu.hbm_shortfall`` — which reproduces
+Fig. 3's 1-GPU column (InceptionV3 ≈3%, ResNet-50 ≈7%, VGG-16 ≈8%);
+the 2-GPU column additionally pays PCIe-vs-NVLink allreduce cost.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """GPU-to-GPU fabric inside one machine (or between machines)."""
+
+    name: str
+    # Effective per-GPU bandwidth usable by collective ops, GB/s.
+    allreduce_gb_s: float
+    # Per-synchronization latency floor, seconds.
+    latency_s: float
+
+
+PCIE3 = InterconnectSpec(name="pcie3-x16", allreduce_gb_s=10.0, latency_s=0.0006)
+NVLINK = InterconnectSpec(name="nvlink", allreduce_gb_s=46.0, latency_s=0.0002)
+ETH_1G = InterconnectSpec(name="1gbe", allreduce_gb_s=0.117, latency_s=0.0015)
+ETH_10G = InterconnectSpec(name="10gbe", allreduce_gb_s=1.15, latency_s=0.0008)
+INFINIBAND = InterconnectSpec(name="infiniband-edr", allreduce_gb_s=11.0, latency_s=0.0003)
+
+INTERCONNECTS = {i.name: i for i in (PCIE3, NVLINK, ETH_1G, ETH_10G, INFINIBAND)}
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """One GPU device type."""
+
+    name: str
+    # Dense-convolution throughput a tuned framework sustains, TFLOPS.
+    sustained_tflops: float
+    memory_gb: float
+    # Fractional throughput loss a *fully* bandwidth-bound model sees
+    # relative to the HBM/SXM2 reference part (0 for SXM2 modules).
+    hbm_shortfall: float
+
+
+# One K80 board exposes two GK210 dies; the paper counts "PCIe GPUs",
+# which operationally means one CUDA device = one die.
+K80 = GpuSpec(name="k80", sustained_tflops=2.0, memory_gb=12.0, hbm_shortfall=0.0)
+
+P100_PCIE = GpuSpec(name="p100-pcie", sustained_tflops=8.0, memory_gb=16.0,
+                    hbm_shortfall=0.09)
+
+P100_SXM2 = GpuSpec(name="p100-sxm2", sustained_tflops=8.0, memory_gb=16.0,
+                    hbm_shortfall=0.0)
+
+V100_SXM2 = GpuSpec(name="v100-sxm2", sustained_tflops=13.0, memory_gb=16.0,
+                    hbm_shortfall=0.0)
+
+GPU_CATALOGUE = {g.name: g for g in (K80, P100_PCIE, P100_SXM2, V100_SXM2)}
+
+
+def get_gpu(name):
+    try:
+        return GPU_CATALOGUE[name.lower()]
+    except KeyError:
+        raise KeyError(f"unknown GPU {name!r}; have {sorted(GPU_CATALOGUE)}") from None
+
+
+def achieved_tflops(gpu, model):
+    """Effective TFLOPS of ``gpu`` running ``model``."""
+    bandwidth_factor = 1.0 - model.memory_bw_sensitivity * gpu.hbm_shortfall
+    return gpu.sustained_tflops * model.compute_efficiency * bandwidth_factor

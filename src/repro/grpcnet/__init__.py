@@ -1,0 +1,26 @@
+"""Simulated GRPC-style RPC fabric.
+
+Stands in for the GRPC links between DLaaS microservices: named
+endpoints on a latency-modeled network, per-request handler processes,
+client stubs with retries/deadlines, and round-robin load balancing
+with fail-over (what the Kubernetes service registry provides in the
+real system).
+"""
+
+from .client import Client, LoadBalancer
+from .errors import DeadlineExceeded, MethodNotFound, RpcError, ServiceError, Unavailable
+from .network import LatencyModel, Network
+from .server import Server
+
+__all__ = [
+    "Client",
+    "DeadlineExceeded",
+    "LatencyModel",
+    "LoadBalancer",
+    "MethodNotFound",
+    "Network",
+    "RpcError",
+    "Server",
+    "ServiceError",
+    "Unavailable",
+]

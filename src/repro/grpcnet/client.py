@@ -1,0 +1,96 @@
+"""Client stubs with retries and deadlines, plus a load balancer.
+
+The DLaaS API instances register into a Kubernetes service; clients of
+the service see one virtual name with round-robin load balancing and
+fail-over (paper §III.c). :class:`LoadBalancer` models that; a
+:class:`Client` resolves its target through one (or calls a fixed
+address directly).
+"""
+
+from .errors import DeadlineExceeded, Unavailable
+
+
+class LoadBalancer:
+    """Round-robin resolver over a mutable endpoint set."""
+
+    def __init__(self, name, endpoints=()):
+        self.name = name
+        self._endpoints = list(endpoints)
+        self._cursor = 0
+
+    def add(self, address):
+        if address not in self._endpoints:
+            self._endpoints.append(address)
+
+    def remove(self, address):
+        try:
+            self._endpoints.remove(address)
+        except ValueError:
+            pass
+
+    @property
+    def endpoints(self):
+        return tuple(self._endpoints)
+
+    def pick_order(self):
+        """Endpoints to try for one call, round-robin rotated.
+
+        Returning the full rotation (not a single endpoint) lets the
+        client fail over to the next instance when one is down.
+        """
+        if not self._endpoints:
+            return []
+        start = self._cursor % len(self._endpoints)
+        self._cursor += 1
+        return self._endpoints[start:] + self._endpoints[:start]
+
+
+class Client:
+    """Call helper with retry/backoff/fail-over policy.
+
+    ``target`` is either an address string or a :class:`LoadBalancer`.
+    ``call`` is a generator — use ``response = yield from client.call(...)``
+    inside a simulation process.
+    """
+
+    def __init__(self, kernel, network, target, caller="client",
+                 retries=3, retry_backoff=0.05, deadline=None):
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.kernel = kernel
+        self.network = network
+        self.target = target
+        self.caller = caller
+        self.retries = retries
+        self.retry_backoff = retry_backoff
+        self.deadline = deadline
+
+    def _candidates(self):
+        if isinstance(self.target, LoadBalancer):
+            return self.target.pick_order()
+        return [self.target]
+
+    def call(self, method, request=None, deadline=None):
+        """Invoke ``method``, retrying transient failures with backoff.
+
+        Retries cover ``Unavailable`` and ``DeadlineExceeded`` — the
+        failure modes a crash or fail-over produces. Remote application
+        errors (``ServiceError``) are not retried: the platform treats
+        those as genuine responses.
+        """
+        deadline = self.deadline if deadline is None else deadline
+        last_error = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                yield self.kernel.sleep(self.retry_backoff * (2 ** (attempt - 1)))
+            for address in self._candidates():
+                try:
+                    response = yield self.network.call(
+                        address, method, request, deadline=deadline, caller=self.caller
+                    )
+                    return response
+                except (Unavailable, DeadlineExceeded) as exc:
+                    last_error = exc
+            if not self._candidates():
+                last_error = Unavailable(f"{self.target!r} has no endpoints")
+        raise last_error

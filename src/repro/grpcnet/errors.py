@@ -1,0 +1,26 @@
+"""Errors for the simulated RPC fabric."""
+
+
+class RpcError(Exception):
+    """Base class for RPC failures."""
+
+
+class Unavailable(RpcError):
+    """No live endpoint could serve the call (connection refused)."""
+
+
+class DeadlineExceeded(RpcError):
+    """The call did not complete within its deadline."""
+
+
+class MethodNotFound(RpcError):
+    """The target service does not implement the requested method."""
+
+
+class ServiceError(RpcError):
+    """The remote handler raised; carries the remote exception."""
+
+    def __init__(self, method, cause):
+        super().__init__(f"{method} failed remotely: {cause!r}")
+        self.method = method
+        self.cause = cause

@@ -1,0 +1,135 @@
+"""The simulated message fabric connecting microservices.
+
+Models what DLaaS gets from GRPC over the datacenter network: named
+endpoints, per-message latency with jitter, optional message loss, and
+network partitions for dependability experiments. Services register a
+:class:`~repro.grpcnet.server.Server` under an address; clients invoke
+``network.call(address, method, request)``.
+"""
+
+from ..sim.errors import ProcessKilled
+from .errors import DeadlineExceeded, Unavailable
+
+
+class LatencyModel:
+    """Per-hop latency: base plus uniform jitter, seconds."""
+
+    def __init__(self, base=0.0005, jitter=0.0005):
+        if base < 0 or jitter < 0:
+            raise ValueError("latency parameters must be non-negative")
+        self.base = base
+        self.jitter = jitter
+
+    def sample(self, rng):
+        return self.base + rng.random() * self.jitter
+
+
+class Network:
+    """Registry of endpoints plus the latency/partition/loss model."""
+
+    def __init__(self, kernel, latency=None, loss_rate=0.0, tracer=None):
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1): {loss_rate}")
+        self.kernel = kernel
+        self.latency = latency or LatencyModel()
+        self.loss_rate = loss_rate
+        self.tracer = tracer
+        self._servers = {}
+        self._partitions = set()
+        self._rng = kernel.rng("network")
+        self.calls_total = 0
+        self.calls_failed = 0
+
+    # ------------------------------------------------------------------
+    # Endpoint registry
+    # ------------------------------------------------------------------
+
+    def register(self, address, server):
+        if address in self._servers:
+            raise ValueError(f"address already registered: {address}")
+        self._servers[address] = server
+
+    def unregister(self, address):
+        self._servers.pop(address, None)
+
+    def lookup(self, address):
+        return self._servers.get(address)
+
+    def addresses(self):
+        return sorted(self._servers)
+
+    # ------------------------------------------------------------------
+    # Partitions
+    # ------------------------------------------------------------------
+
+    def partition(self, a, b):
+        """Symmetrically block traffic between hosts ``a`` and ``b``."""
+        self._partitions.add(frozenset((a, b)))
+
+    def heal(self, a, b):
+        self._partitions.discard(frozenset((a, b)))
+
+    def heal_all(self):
+        self._partitions.clear()
+
+    def is_partitioned(self, a, b):
+        return frozenset((a, b)) in self._partitions
+
+    # ------------------------------------------------------------------
+    # Calls
+    # ------------------------------------------------------------------
+
+    def call(self, address, method, request, deadline=None, caller="client"):
+        """Invoke ``method`` on the server at ``address``.
+
+        Returns a :class:`~repro.sim.process.Process`; yield it to get
+        the response (or the failure). ``deadline`` is in simulated
+        seconds, measured from call initiation.
+        """
+        process = self.kernel.spawn(
+            self._call(address, method, request, caller),
+            name=f"rpc:{caller}->{address}/{method}",
+        )
+        if deadline is None:
+            return process
+        return self.kernel.spawn(
+            self._with_deadline(process, deadline, address, method),
+            name=f"rpc-deadline:{caller}->{address}/{method}",
+        )
+
+    def _with_deadline(self, process, deadline, address, method):
+        timer = self.kernel.sleep(deadline)
+        winner, _value = yield self.kernel.any_of([process, timer])
+        if winner is timer:
+            process.kill("deadline exceeded")
+            raise DeadlineExceeded(f"{address}/{method} after {deadline}s")
+        if process.state == "failed":
+            raise process.exception
+        return process.value
+
+    def _call(self, address, method, request, caller):
+        self.calls_total += 1
+        try:
+            yield self.kernel.sleep(self.latency.sample(self._rng))
+            if self.loss_rate and self._rng.random() < self.loss_rate:
+                raise Unavailable(f"message to {address} lost")
+            server = self._servers.get(address)
+            if server is None or not server.running:
+                raise Unavailable(f"no live endpoint at {address}")
+            if self.is_partitioned(caller, address):
+                raise Unavailable(f"{caller} partitioned from {address}")
+            handler_process = server.dispatch(method, request)
+            try:
+                response = yield handler_process
+            except ProcessKilled:
+                raise Unavailable(f"{address} crashed while serving {method}") from None
+            yield self.kernel.sleep(self.latency.sample(self._rng))
+            if self.is_partitioned(caller, address):
+                raise Unavailable(f"response from {address} dropped by partition")
+            return response
+        except Exception:
+            self.calls_failed += 1
+            raise
+        finally:
+            if self.tracer is not None:
+                self.tracer.emit("network", "rpc", caller=caller, address=address, method=method)

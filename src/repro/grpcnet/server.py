@@ -1,0 +1,97 @@
+"""Simulated RPC server: named methods dispatched as processes."""
+
+import inspect
+
+from ..sim.errors import ProcessKilled
+from .errors import MethodNotFound, ServiceError
+
+
+class Server:
+    """An addressable RPC endpoint hosting named method handlers.
+
+    Handlers may be plain callables (instantaneous in simulated time) or
+    generator functions (which may sleep, call other services, etc.).
+    Either way each request runs as its own kernel process, so a slow
+    handler never blocks the server.
+
+    Stopping the server models a process crash: in-flight handlers are
+    killed (callers see ``Unavailable``) and new calls are refused until
+    :meth:`start` is called again.
+    """
+
+    def __init__(self, kernel, network, address, service_time=0.0):
+        self.kernel = kernel
+        self.network = network
+        self.address = address
+        self.service_time = service_time
+        self.running = False
+        self._methods = {}
+        self._inflight = set()
+        self.requests_served = 0
+
+    def add_method(self, name, handler):
+        self._methods[name] = handler
+        return self
+
+    def add_service(self, obj, prefix=""):
+        """Register every public method of ``obj`` ending in ``_rpc``.
+
+        The RPC method name is the Python name minus the ``_rpc``
+        suffix, optionally prefixed (``prefix="Trainer."``).
+        """
+        for attr in dir(obj):
+            if attr.startswith("_") or not attr.endswith("_rpc"):
+                continue
+            self.add_method(prefix + attr[: -len("_rpc")], getattr(obj, attr))
+        return self
+
+    def start(self):
+        if self.running:
+            return self
+        self.running = True
+        if self.network.lookup(self.address) is not self:
+            self.network.register(self.address, self)
+        return self
+
+    def stop(self):
+        """Crash/stop: kill in-flight handlers, refuse new calls."""
+        if not self.running:
+            return self
+        self.running = False
+        self.network.unregister(self.address)
+        inflight, self._inflight = self._inflight, set()
+        for process in inflight:
+            process.kill(f"server {self.address} stopped")
+        return self
+
+    def dispatch(self, method, request):
+        """Run ``method`` for one request; returns the handler process."""
+        handler = self._methods.get(method)
+        process = self.kernel.spawn(
+            self._serve(handler, method, request),
+            name=f"{self.address}/{method}",
+        )
+        self._inflight.add(process)
+        process.add_callback(lambda _ev: self._inflight.discard(process))
+        return process
+
+    def _serve(self, handler, method, request):
+        if handler is None:
+            raise MethodNotFound(f"{self.address} has no method {method!r}")
+        if self.service_time:
+            yield self.kernel.sleep(self.service_time)
+        try:
+            if inspect.isgeneratorfunction(handler):
+                response = yield from handler(request)
+            else:
+                response = handler(request)
+                if inspect.isgenerator(response):
+                    response = yield from response
+        except ProcessKilled:
+            # Server crash mid-handler; the caller must see Unavailable,
+            # not a remote application error.
+            raise
+        except Exception as exc:
+            raise ServiceError(method, exc) from exc
+        self.requests_served += 1
+        return response

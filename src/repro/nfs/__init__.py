@@ -1,0 +1,29 @@
+"""Shared NFS volumes.
+
+The intra-job communication substrate (paper §III.e): learners and the
+helper pod share a volume mounted by the Guardian through a persistent
+volume claim; exit statuses, logs and progress files flow through it.
+"""
+
+from .errors import (
+    AlreadyExists,
+    FsError,
+    IsADirectory,
+    NotADirectory,
+    NotFound,
+    VolumeNotFound,
+)
+from .filesystem import SharedFilesystem
+from .server import Mount, NfsServer
+
+__all__ = [
+    "AlreadyExists",
+    "FsError",
+    "IsADirectory",
+    "Mount",
+    "NfsServer",
+    "NotADirectory",
+    "NotFound",
+    "SharedFilesystem",
+    "VolumeNotFound",
+]

@@ -1,0 +1,25 @@
+"""Errors for the shared filesystem."""
+
+
+class FsError(Exception):
+    """Base class for filesystem errors."""
+
+
+class NotFound(FsError):
+    """Path does not exist."""
+
+
+class NotADirectory(FsError):
+    """Path component is a file where a directory was required."""
+
+
+class IsADirectory(FsError):
+    """File operation attempted on a directory."""
+
+
+class AlreadyExists(FsError):
+    """Exclusive create found an existing entry."""
+
+
+class VolumeNotFound(FsError):
+    """The NFS server has no volume by that name."""

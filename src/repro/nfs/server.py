@@ -1,0 +1,109 @@
+"""The NFS server: named persistent volumes and mounts.
+
+Volumes outlive every container and pod; a crashed controller rereads
+current and previous statuses from NFS after restart (paper §III.f).
+Mounts are per-container views; crashing the container invalidates its
+mounts, but never the volume.
+"""
+
+from .errors import AlreadyExists, FsError, VolumeNotFound
+from .filesystem import SharedFilesystem
+
+
+class Mount:
+    """A container's handle on a volume; dies with the container."""
+
+    def __init__(self, server, volume_name, filesystem):
+        self._server = server
+        self.volume_name = volume_name
+        self._filesystem = filesystem
+        self.active = True
+
+    def _fs(self):
+        if not self.active:
+            raise FsError(f"mount of {self.volume_name!r} is stale")
+        if not self._server.available:
+            raise FsError("NFS server unavailable")
+        return self._filesystem
+
+    def unmount(self):
+        self.active = False
+
+    # Delegate the filesystem API through the liveness checks.
+
+    def mkdir(self, path, parents=True):
+        return self._fs().mkdir(path, parents=parents)
+
+    def listdir(self, path="/"):
+        return self._fs().listdir(path)
+
+    def is_dir(self, path):
+        return self._fs().is_dir(path)
+
+    def write_file(self, path, content, append=False):
+        return self._fs().write_file(path, content, append=append)
+
+    def append_line(self, path, line):
+        return self._fs().append_line(path, line)
+
+    def read_file(self, path):
+        return self._fs().read_file(path)
+
+    def read_from(self, path, offset):
+        return self._fs().read_from(path, offset)
+
+    def exists(self, path):
+        return self._fs().exists(path)
+
+    def size(self, path):
+        return self._fs().size(path)
+
+    def mtime(self, path):
+        return self._fs().mtime(path)
+
+    def delete(self, path, recursive=False):
+        return self._fs().delete(path, recursive=recursive)
+
+    def walk(self, path="/"):
+        return self._fs().walk(path)
+
+
+class NfsServer:
+    """Holds the volumes; hands out mounts."""
+
+    def __init__(self, kernel=None):
+        self._clock = (lambda: kernel.now) if kernel is not None else (lambda: 0.0)
+        self._volumes = {}
+        self.available = True
+
+    def create_volume(self, name, exist_ok=False):
+        if name in self._volumes:
+            if exist_ok:
+                return self._volumes[name]
+            raise AlreadyExists(f"volume {name!r}")
+        volume = SharedFilesystem(name=name, clock=self._clock)
+        self._volumes[name] = volume
+        return volume
+
+    def delete_volume(self, name):
+        if name not in self._volumes:
+            raise VolumeNotFound(name)
+        del self._volumes[name]
+
+    def volume(self, name):
+        if name not in self._volumes:
+            raise VolumeNotFound(name)
+        return self._volumes[name]
+
+    def volume_names(self):
+        return sorted(self._volumes)
+
+    def mount(self, name):
+        return Mount(self, name, self.volume(name))
+
+    def go_down(self):
+        """Simulate an NFS outage; mounts raise until :meth:`come_up`."""
+        self.available = False
+
+    def come_up(self):
+        self.available = True

@@ -1,0 +1,27 @@
+"""Cloud object store: training data in, checkpoints and results out."""
+
+from .errors import (
+    AccessDenied,
+    BucketExists,
+    NoSuchBucket,
+    NoSuchKey,
+    ObjectStoreError,
+    UploadNotFound,
+)
+from .multipart import MultipartUpload, create_multipart_upload
+from .store import GBIT, Bucket, ObjectStore, StoredObject
+
+__all__ = [
+    "AccessDenied",
+    "Bucket",
+    "BucketExists",
+    "GBIT",
+    "MultipartUpload",
+    "NoSuchBucket",
+    "NoSuchKey",
+    "ObjectStore",
+    "ObjectStoreError",
+    "StoredObject",
+    "UploadNotFound",
+    "create_multipart_upload",
+]

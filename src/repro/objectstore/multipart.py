@@ -1,0 +1,56 @@
+"""Multipart uploads, for large checkpoints and result archives."""
+
+import itertools
+
+from .errors import UploadNotFound
+
+_upload_ids = itertools.count(1)
+
+
+class MultipartUpload:
+    """An in-progress multipart upload."""
+
+    def __init__(self, store, bucket_name, key, credentials):
+        self.store = store
+        self.bucket_name = bucket_name
+        self.key = key
+        self.credentials = credentials
+        self.upload_id = f"upload-{next(_upload_ids)}"
+        self.parts = {}
+        self.completed = False
+        self.aborted = False
+
+    def _check_open(self):
+        if self.completed or self.aborted:
+            raise UploadNotFound(self.upload_id)
+
+    def upload_part(self, part_number, size, bandwidth=None):
+        """Process generator: uploads one part."""
+        self._check_open()
+        yield self.store.kernel.sleep(self.store.transfer_time(size, bandwidth))
+        self._check_open()
+        self.parts[part_number] = size
+        self.store.bytes_uploaded += size
+
+    def complete(self):
+        """Assemble parts (in part-number order) into the final object."""
+        self._check_open()
+        total = sum(size for _number, size in sorted(self.parts.items()))
+        obj = self.store.put_object(
+            self.bucket_name, self.key, self.credentials, total,
+            payload={"parts": len(self.parts)},
+        )
+        self.completed = True
+        return obj
+
+    def abort(self):
+        self._check_open()
+        self.aborted = True
+        self.parts.clear()
+
+
+def create_multipart_upload(store, bucket_name, key, credentials):
+    """Start a multipart upload (validates bucket + credentials)."""
+    bucket = store._bucket(bucket_name)
+    bucket.authorize(credentials)
+    return MultipartUpload(store, bucket_name, key, credentials)

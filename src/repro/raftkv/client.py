@@ -1,0 +1,136 @@
+"""Client facade over the replicated KV store.
+
+Finds the leader (following redirect hints), retries across elections
+and crashes, and tags every mutation with a ``(client_id, seq)`` pair so
+the state machine's session table makes retried writes exactly-once.
+This is what DLaaS components (controller, Guardian) use for status
+coordination.
+"""
+
+import itertools
+
+from ..grpcnet.errors import RpcError, ServiceError
+from .errors import NoLeader, NotLeader
+
+_client_counter = itertools.count()
+
+
+class EtcdClient:
+    """Leader-following, retrying KV client."""
+
+    def __init__(self, kernel, network, cluster, client_id=None,
+                 max_attempts=60, retry_delay=0.1, rpc_deadline=0.5):
+        self.kernel = kernel
+        self.network = network
+        self.cluster = cluster
+        self.client_id = client_id or f"etcd-client-{next(_client_counter)}"
+        self.max_attempts = max_attempts
+        self.retry_delay = retry_delay
+        self.rpc_deadline = rpc_deadline
+        self._seq = 0
+        self._leader_hint = None
+
+    # ------------------------------------------------------------------
+    # Public API (all are process generators: use ``yield from``)
+    # ------------------------------------------------------------------
+
+    def put(self, key, value, lease=None):
+        command = {"op": "put", "key": key, "value": value}
+        if lease is not None:
+            command["lease"] = lease
+        return self._propose(command)
+
+    def delete(self, key):
+        return self._propose({"op": "delete", "key": key})
+
+    def delete_prefix(self, prefix):
+        return self._propose({"op": "delete_prefix", "prefix": prefix})
+
+    def cas(self, key, expected, value):
+        """Compare-and-swap; returns the state-machine result dict."""
+        return self._propose({"op": "cas", "key": key, "expected": expected,
+                              "value": value})
+
+    def lease_grant(self, lease_id, ttl):
+        return self._propose({"op": "lease_grant", "lease_id": lease_id,
+                              "ttl": ttl, "now": self.kernel.now})
+
+    def lease_keepalive(self, lease_id):
+        return self._propose({"op": "lease_keepalive", "lease_id": lease_id,
+                              "now": self.kernel.now})
+
+    def lease_revoke(self, lease_id):
+        return self._propose({"op": "lease_revoke", "lease_id": lease_id})
+
+    def get(self, key):
+        """Linearizable read via the leader; returns value or None."""
+        response = yield from self._call_leader("read", {"key": key})
+        return response["value"]
+
+    def get_range(self, prefix):
+        """All (key, value) pairs under ``prefix`` via the leader."""
+        response = yield from self._call_leader("range", {"prefix": prefix})
+        return response["kvs"]
+
+    def watch(self, prefix, node_id=None):
+        """Register a watch on a live node (default: any live node).
+
+        Watches are served from a single node's apply stream; if that
+        node crashes the watch channel closes and the caller should
+        re-register, mirroring a dropped etcd watch stream.
+        """
+        candidates = [node_id] if node_id else self.cluster.node_ids
+        for candidate in candidates:
+            node = self.cluster.node(candidate)
+            if node.alive:
+                return node.watch(prefix)
+        raise NoLeader("no live node to serve the watch")
+
+    # ------------------------------------------------------------------
+
+    def _next_seq(self):
+        self._seq += 1
+        return self._seq
+
+    def _candidates(self):
+        ids = list(self.cluster.node_ids)
+        if self._leader_hint in ids:
+            ids.remove(self._leader_hint)
+            ids.insert(0, self._leader_hint)
+        return ids
+
+    def _propose(self, command):
+        command = dict(command)
+        command["client_id"] = self.client_id
+        command["seq"] = self._next_seq()
+        return self._call_leader("propose", command)
+
+    def _call_leader(self, method, payload):
+        last_error = None
+        for attempt in range(self.max_attempts):
+            if attempt:
+                yield self.kernel.sleep(self.retry_delay)
+            for node_id in self._candidates():
+                try:
+                    response = yield self.network.call(
+                        node_id, method, payload,
+                        deadline=self.rpc_deadline, caller=self.client_id,
+                    )
+                    self._leader_hint = node_id
+                    return response
+                except ServiceError as exc:
+                    if isinstance(exc.cause, NotLeader):
+                        last_error = exc.cause
+                        if exc.cause.leader_hint:
+                            self._leader_hint = exc.cause.leader_hint
+                        continue
+                    raise
+                except NotLeader as exc:
+                    last_error = exc
+                    if exc.leader_hint:
+                        self._leader_hint = exc.leader_hint
+                    continue
+                except RpcError as exc:
+                    last_error = exc
+                    continue
+        raise NoLeader(f"{method} failed after {self.max_attempts} attempts: {last_error!r}")

@@ -1,0 +1,32 @@
+"""Errors for the replicated key-value store."""
+
+
+class RaftError(Exception):
+    """Base class for Raft/KV errors."""
+
+
+class NotLeader(RaftError):
+    """The contacted node is not the leader; carries a leader hint."""
+
+    def __init__(self, node_id, leader_hint=None):
+        super().__init__(f"{node_id} is not the leader (hint: {leader_hint})")
+        self.node_id = node_id
+        self.leader_hint = leader_hint
+
+
+class NoLeader(RaftError):
+    """No leader could be found within the client's retry budget."""
+
+
+class CompareFailed(RaftError):
+    """A compare-and-swap found an unexpected current value."""
+
+    def __init__(self, key, expected, actual):
+        super().__init__(f"cas on {key!r}: expected {expected!r}, found {actual!r}")
+        self.key = key
+        self.expected = expected
+        self.actual = actual
+
+
+class LeaseNotFound(RaftError):
+    """Operation referenced an unknown or expired lease."""

@@ -1,0 +1,66 @@
+"""Raft RPC message types (Figure 2 of the Raft paper)."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One replicated log entry: the term it was created in + command."""
+
+    term: int
+    command: dict
+
+
+@dataclass(frozen=True)
+class RequestVote:
+    term: int
+    candidate_id: str
+    last_log_index: int
+    last_log_term: int
+
+
+@dataclass(frozen=True)
+class RequestVoteReply:
+    term: int
+    vote_granted: bool
+    voter_id: str
+
+
+@dataclass(frozen=True)
+class AppendEntries:
+    term: int
+    leader_id: str
+    prev_log_index: int
+    prev_log_term: int
+    entries: tuple = field(default_factory=tuple)
+    leader_commit: int = 0
+
+
+@dataclass(frozen=True)
+class InstallSnapshot:
+    term: int
+    leader_id: str
+    last_included_index: int
+    last_included_term: int
+    # Serialized state-machine image (a deep copy of the KV state).
+    data: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class InstallSnapshotReply:
+    term: int
+    follower_id: str
+    last_included_index: int
+
+
+@dataclass(frozen=True)
+class AppendEntriesReply:
+    term: int
+    success: bool
+    follower_id: str
+    # On success: index of the last entry known replicated on the
+    # follower. On failure: a hint for nextIndex back-off (the
+    # follower's log length + 1), which converges much faster than
+    # decrementing by one.
+    match_index: int = 0
+    next_index_hint: int = 1

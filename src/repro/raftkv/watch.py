@@ -1,0 +1,55 @@
+"""Prefix watches over the replicated store.
+
+A watch is registered against one node and delivers
+:class:`~repro.raftkv.statemachine.KvEvent` objects into a channel as
+that node applies committed entries. If the node crashes, the channel
+closes and the watcher must re-register (as with a dropped etcd watch
+stream) — the DLaaS Guardian handles exactly this re-watch.
+"""
+
+from ..sim.channels import Channel
+
+
+class Watch:
+    """One registered watch; iterate by yielding ``watch.channel.get()``."""
+
+    def __init__(self, hub, prefix, channel):
+        self._hub = hub
+        self.prefix = prefix
+        self.channel = channel
+
+    def cancel(self):
+        self._hub.remove(self)
+
+
+class WatchHub:
+    """Per-node registry of active watches."""
+
+    def __init__(self, kernel):
+        self._kernel = kernel
+        self._watches = []
+
+    def add(self, prefix):
+        watch = Watch(self, prefix, Channel(self._kernel, name=f"watch:{prefix}"))
+        self._watches.append(watch)
+        return watch
+
+    def remove(self, watch):
+        try:
+            self._watches.remove(watch)
+        except ValueError:
+            pass
+        if not watch.channel.closed:
+            watch.channel.close()
+
+    def dispatch(self, event):
+        for watch in list(self._watches):
+            if event.key.startswith(watch.prefix):
+                watch.channel.put(event)
+
+    def close_all(self):
+        """Node crash: drop every watch stream."""
+        watches, self._watches = self._watches, []
+        for watch in watches:
+            if not watch.channel.closed:
+                watch.channel.close()

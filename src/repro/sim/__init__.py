@@ -1,0 +1,37 @@
+"""Deterministic discrete-event simulation kernel.
+
+This is the substrate clock for the whole reproduction: every
+microservice, Kubernetes controller, Raft node and learner process runs
+as a generator-based process on :class:`Kernel`, and all times reported
+by benchmarks are simulated seconds.
+"""
+
+from .channels import Channel
+from .errors import ChannelClosed, Interrupt, ProcessKilled, SimError, SimTimeout
+from .events import AllOf, AnyOf, Event
+from .faults import FaultInjector
+from .kernel import Kernel
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .process import Process
+from .tracing import TraceRecord, Tracer
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Channel",
+    "ChannelClosed",
+    "Counter",
+    "Event",
+    "FaultInjector",
+    "Gauge",
+    "Histogram",
+    "Interrupt",
+    "Kernel",
+    "MetricsRegistry",
+    "Process",
+    "ProcessKilled",
+    "SimError",
+    "SimTimeout",
+    "TraceRecord",
+    "Tracer",
+]

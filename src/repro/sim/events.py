@@ -1,0 +1,132 @@
+"""One-shot waitable events for the simulation kernel.
+
+An :class:`Event` starts pending, and is triggered exactly once — either
+:meth:`Event.succeed` with a value, or :meth:`Event.fail` with an
+exception. Processes wait on events by yielding them from their
+generator; the kernel resumes the process with the event's value (or
+throws the event's exception into it).
+"""
+
+PENDING = "pending"
+SUCCEEDED = "succeeded"
+FAILED = "failed"
+
+
+class Event:
+    """A one-shot waitable; the unit of synchronization in the kernel."""
+
+    def __init__(self, kernel, name=""):
+        self._kernel = kernel
+        self.name = name
+        self.state = PENDING
+        self.value = None
+        self.exception = None
+        self._callbacks = []
+
+    @property
+    def triggered(self):
+        return self.state != PENDING
+
+    @property
+    def ok(self):
+        return self.state == SUCCEEDED
+
+    def succeed(self, value=None):
+        """Trigger the event successfully, waking all waiters."""
+        if self.triggered:
+            raise RuntimeError(f"event {self.name!r} already triggered")
+        self.state = SUCCEEDED
+        self.value = value
+        self._dispatch()
+        return self
+
+    def fail(self, exception):
+        """Trigger the event with an exception, which waiters receive."""
+        if self.triggered:
+            raise RuntimeError(f"event {self.name!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self.state = FAILED
+        self.exception = exception
+        self._dispatch()
+        return self
+
+    def add_callback(self, callback):
+        """Register ``callback(event)``; runs at trigger time.
+
+        If the event has already triggered, the callback is scheduled to
+        run immediately (at the current simulated instant).
+        """
+        if self.triggered:
+            self._kernel._schedule_now(lambda: callback(self))
+        else:
+            self._callbacks.append(callback)
+
+    def remove_callback(self, callback):
+        """Unregister a pending callback; ignores unknown callbacks."""
+        try:
+            self._callbacks.remove(callback)
+        except ValueError:
+            pass
+
+    def _dispatch(self):
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            self._kernel._schedule_now(lambda cb=callback: cb(self))
+
+    def __repr__(self):
+        return f"<Event {self.name!r} {self.state}>"
+
+
+class AnyOf(Event):
+    """Succeeds when any child event triggers.
+
+    The value is a ``(event, value)`` pair for the first child that
+    triggered. A failing child fails the composite.
+    """
+
+    def __init__(self, kernel, events, name="any-of"):
+        super().__init__(kernel, name=name)
+        self.events = list(events)
+        if not self.events:
+            raise ValueError("AnyOf requires at least one event")
+        for event in self.events:
+            event.add_callback(self._on_child)
+
+    def _on_child(self, event):
+        if self.triggered:
+            return
+        if event.state == FAILED:
+            self.fail(event.exception)
+        else:
+            self.succeed((event, event.value))
+
+
+class AllOf(Event):
+    """Succeeds when every child event has succeeded.
+
+    The value is the list of child values, in the order the children
+    were given. The first failing child fails the composite.
+    """
+
+    def __init__(self, kernel, events, name="all-of"):
+        super().__init__(kernel, name=name)
+        self.events = list(events)
+        self._remaining = len(self.events)
+        if not self.events:
+            # Vacuously complete; trigger via the scheduler so waiters
+            # registered after construction still wake up.
+            kernel._schedule_now(lambda: self.succeed([]))
+            return
+        for event in self.events:
+            event.add_callback(self._on_child)
+
+    def _on_child(self, event):
+        if self.triggered:
+            return
+        if event.state == FAILED:
+            self.fail(event.exception)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([child.value for child in self.events])

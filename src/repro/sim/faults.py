@@ -1,0 +1,55 @@
+"""Fault injection for dependability experiments.
+
+The paper evaluates recovery by *manually crashing* components with
+kubectl (Fig. 4) and argues resilience to random node/process failures.
+This module provides both: one-shot scheduled crashes, and Poisson
+crash processes with a given MTBF, each targeting a crash callback
+supplied by the component under test.
+"""
+
+
+class FaultInjector:
+    """Schedules crashes against registered targets."""
+
+    def __init__(self, kernel, tracer=None):
+        self._kernel = kernel
+        self._tracer = tracer
+        self.injected = []
+
+    def _fire(self, name, crash, reason):
+        self.injected.append((self._kernel.now, name, reason))
+        if self._tracer is not None:
+            self._tracer.emit("fault-injector", "crash-injected", target=name, reason=reason)
+        crash()
+
+    def crash_at(self, when, name, crash, reason="scheduled"):
+        """Crash ``name`` (by calling ``crash()``) at absolute time ``when``."""
+        self._kernel._schedule_at(when, lambda: self._fire(name, crash, reason))
+
+    def crash_after(self, delay, name, crash, reason="scheduled"):
+        """Crash ``name`` after ``delay`` seconds from now."""
+        self.crash_at(self._kernel.now + delay, name, crash, reason)
+
+    def poisson_crashes(self, name, crash, mtbf, until=None, alive=None):
+        """Repeatedly crash ``name`` with exponential inter-arrival times.
+
+        ``mtbf`` is the mean time between failures in simulated seconds.
+        ``alive`` (optional) is a predicate consulted before each crash;
+        a dead target is skipped but the process keeps ticking, modeling
+        a flaky machine that can fail again once restarted.
+        """
+        if mtbf <= 0:
+            raise ValueError(f"mtbf must be positive, got {mtbf}")
+        rng = self._kernel.rng(f"faults:{name}")
+
+        def driver():
+            while True:
+                delay = rng.expovariate(1.0 / mtbf)
+                if until is not None and self._kernel.now + delay > until:
+                    return
+                yield self._kernel.sleep(delay)
+                if alive is not None and not alive():
+                    continue
+                self._fire(name, crash, "poisson")
+
+        return self._kernel.spawn(driver(), name=f"faults:{name}")

@@ -1,0 +1,153 @@
+"""The discrete-event simulation kernel.
+
+The kernel owns simulated time and an ordered event queue. Simulated
+components are *processes*: Python generators that yield waitables
+(:class:`~repro.sim.events.Event`, other processes, or the result of
+:meth:`Kernel.sleep`). The kernel resumes a process when the waitable it
+yielded triggers, passing the waitable's value back into the generator
+(or throwing its exception).
+
+Determinism: with a fixed seed, every run produces an identical trace.
+Ties in time are broken by insertion order, and all randomness flows
+through named, independently seeded RNG streams (:meth:`Kernel.rng`).
+"""
+
+import heapq
+import random
+
+from .errors import SimError
+from .events import AllOf, AnyOf, Event
+from .process import Process
+
+
+class Kernel:
+    """Discrete-event simulation kernel with generator-based processes."""
+
+    def __init__(self, seed=0):
+        self._now = 0.0
+        self._queue = []
+        self._sequence = 0
+        self._seed = seed
+        self._rngs = {}
+        self.processes = []
+
+    # ------------------------------------------------------------------
+    # Time
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self):
+        """Current simulated time, in seconds."""
+        return self._now
+
+    def _schedule_at(self, when, callback):
+        if when < self._now:
+            raise SimError(f"cannot schedule in the past ({when} < {self._now})")
+        self._sequence += 1
+        heapq.heappush(self._queue, (when, self._sequence, callback))
+
+    def _schedule_now(self, callback):
+        self._schedule_at(self._now, callback)
+
+    # ------------------------------------------------------------------
+    # Waitables
+    # ------------------------------------------------------------------
+
+    def event(self, name=""):
+        """Create a fresh pending :class:`Event`."""
+        return Event(self, name=name)
+
+    def sleep(self, delay, value=None):
+        """Return an event that succeeds ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative sleep: {delay}")
+        event = Event(self, name=f"sleep({delay})")
+        self._schedule_at(self._now + delay, lambda: event.succeed(value))
+        return event
+
+    def timeout(self, delay, value=None):
+        """Alias of :meth:`sleep`, for SimPy familiarity."""
+        return self.sleep(delay, value)
+
+    def any_of(self, events):
+        """Event that fires when the first of ``events`` triggers."""
+        return AnyOf(self, events)
+
+    def all_of(self, events):
+        """Event that fires when all of ``events`` have succeeded."""
+        return AllOf(self, events)
+
+    # ------------------------------------------------------------------
+    # Processes
+    # ------------------------------------------------------------------
+
+    def spawn(self, generator, name=""):
+        """Start a process from a generator; returns its :class:`Process`.
+
+        The process begins executing at the current simulated instant
+        (not synchronously inside this call).
+        """
+        process = Process(self, generator, name=name)
+        self.processes.append(process)
+        return process
+
+    # ------------------------------------------------------------------
+    # Randomness
+    # ------------------------------------------------------------------
+
+    def rng(self, stream):
+        """Independent deterministic RNG for the named stream.
+
+        Distinct streams are seeded from the kernel seed plus the stream
+        name, so adding a consumer of one stream never perturbs another.
+        """
+        if stream not in self._rngs:
+            self._rngs[stream] = random.Random(f"{self._seed}:{stream}")
+        return self._rngs[stream]
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def step(self):
+        """Execute the next scheduled callback; returns False when empty."""
+        if not self._queue:
+            return False
+        when, _seq, callback = heapq.heappop(self._queue)
+        self._now = when
+        callback()
+        return True
+
+    def run(self, until=None):
+        """Run until the queue drains, or simulated time passes ``until``.
+
+        If ``until`` is given, time is advanced exactly to ``until`` on
+        return (even if the queue drained earlier), so repeated
+        ``run(until=...)`` calls observe a monotone clock.
+        """
+        if until is not None and until < self._now:
+            raise SimError(f"run(until={until}) is in the past (now={self._now})")
+        while self._queue:
+            when, _seq, _cb = self._queue[0]
+            if until is not None and when > until:
+                break
+            self.step()
+        if until is not None:
+            self._now = until
+
+    def run_until_complete(self, process, limit=None):
+        """Run until ``process`` finishes; return its value.
+
+        Raises the process's exception if it failed, and
+        :class:`SimError` if the queue drains (or ``limit`` simulated
+        seconds pass) before the process completes.
+        """
+        deadline = None if limit is None else self._now + limit
+        while not process.triggered:
+            if deadline is not None and self._queue and self._queue[0][0] > deadline:
+                raise SimError(f"process {process.name!r} did not finish within {limit}s")
+            if not self.step():
+                raise SimError(f"deadlock: queue drained before {process.name!r} finished")
+        if process.state == "failed":
+            raise process.exception
+        return process.value

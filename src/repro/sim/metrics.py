@@ -1,0 +1,130 @@
+"""Lightweight metrics for simulated components.
+
+Mirrors the shape of a Prometheus-style registry: named counters,
+gauges and histograms, labeled by component. Benchmarks read these to
+produce the paper's tables.
+"""
+
+import math
+import statistics
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount=1.0):
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value):
+        self.value = value
+
+    def inc(self, amount=1.0):
+        self.value += amount
+
+    def dec(self, amount=1.0):
+        self.value -= amount
+
+
+class Histogram:
+    """Records observations; exposes count/mean/percentiles.
+
+    Stores raw observations — simulations here record at most a few
+    hundred thousand samples, so exact percentiles are affordable and
+    simpler than bucketing.
+    """
+
+    def __init__(self, name):
+        self.name = name
+        self.samples = []
+
+    def observe(self, value):
+        self.samples.append(value)
+
+    @property
+    def count(self):
+        return len(self.samples)
+
+    @property
+    def total(self):
+        return sum(self.samples)
+
+    @property
+    def mean(self):
+        return statistics.fmean(self.samples) if self.samples else math.nan
+
+    @property
+    def minimum(self):
+        return min(self.samples) if self.samples else math.nan
+
+    @property
+    def maximum(self):
+        return max(self.samples) if self.samples else math.nan
+
+    def percentile(self, q):
+        """Exact percentile ``q`` in [0, 100] by nearest-rank."""
+        if not self.samples:
+            return math.nan
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile out of range: {q}")
+        ordered = sorted(self.samples)
+        rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+        return ordered[rank - 1]
+
+
+class MetricsRegistry:
+    """Namespace of metrics; one per simulation, shared by components."""
+
+    def __init__(self):
+        self._metrics = {}
+
+    def counter(self, name):
+        return self._get(name, Counter)
+
+    def gauge(self, name):
+        return self._get(name, Gauge)
+
+    def histogram(self, name):
+        return self._get(name, Histogram)
+
+    def _get(self, name, kind):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = kind(name)
+            self._metrics[name] = metric
+        elif not isinstance(metric, kind):
+            raise TypeError(
+                f"metric {name!r} already registered as {type(metric).__name__}"
+            )
+        return metric
+
+    def names(self):
+        return sorted(self._metrics)
+
+    def snapshot(self):
+        """Plain-dict view of every metric, for reports and tests."""
+        out = {}
+        for name, metric in sorted(self._metrics.items()):
+            if isinstance(metric, Histogram):
+                out[name] = {
+                    "count": metric.count,
+                    "mean": metric.mean,
+                    "min": metric.minimum,
+                    "max": metric.maximum,
+                }
+            else:
+                out[name] = metric.value
+        return out

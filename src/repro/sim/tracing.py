@@ -1,0 +1,81 @@
+"""Structured trace of simulation activity.
+
+Components append typed records; tests and benchmarks query them. The
+trace is the simulated analogue of the platform's log pipeline, and is
+what lets Fig. 4 measure crash-to-recovery intervals precisely.
+"""
+
+
+class TraceRecord:
+    """One trace entry: time, component, event kind, free-form fields."""
+
+    __slots__ = ("time", "component", "kind", "fields")
+
+    def __init__(self, time, component, kind, fields):
+        self.time = time
+        self.component = component
+        self.kind = kind
+        self.fields = fields
+
+    def __repr__(self):
+        return f"<{self.time:.3f} {self.component} {self.kind} {self.fields}>"
+
+
+class Tracer:
+    """Append-only trace with simple query helpers."""
+
+    def __init__(self, kernel):
+        self._kernel = kernel
+        self.records = []
+
+    def emit(self, component, kind, **fields):
+        record = TraceRecord(self._kernel.now, component, kind, fields)
+        self.records.append(record)
+        return record
+
+    def query(self, component=None, kind=None, since=None, **field_filters):
+        """Records matching all given criteria, in time order."""
+        out = []
+        for record in self.records:
+            if component is not None and record.component != component:
+                continue
+            if kind is not None and record.kind != kind:
+                continue
+            if since is not None and record.time < since:
+                continue
+            if any(record.fields.get(k) != v for k, v in field_filters.items()):
+                continue
+            out.append(record)
+        return out
+
+    def first(self, **kwargs):
+        matches = self.query(**kwargs)
+        return matches[0] if matches else None
+
+    def last(self, **kwargs):
+        matches = self.query(**kwargs)
+        return matches[-1] if matches else None
+
+    def intervals(self, start_kind, end_kind, component=None, key=None):
+        """Pair up start/end records and return their durations.
+
+        ``key`` extracts a correlation id from a record's fields (e.g.
+        ``lambda r: r.fields["pod"]``); without it, records pair up in
+        order of appearance.
+        """
+        starts = {}
+        ordered = []
+        durations = []
+        for record in self.query(component=component):
+            if record.kind == start_kind:
+                ident = key(record) if key else len(ordered)
+                starts[ident] = record.time
+                ordered.append(ident)
+            elif record.kind == end_kind:
+                if key:
+                    ident = key(record)
+                else:
+                    ident = ordered[len(durations)] if len(durations) < len(ordered) else None
+                if ident in starts:
+                    durations.append(record.time - starts.pop(ident))
+        return durations

@@ -1,0 +1,148 @@
+"""Cluster autoscaler tests: elasticity of the GPU pool."""
+
+import pytest
+
+from repro.cluster import (
+    ClusterAutoscaler,
+    ContainerSpec,
+    KubernetesCluster,
+    NodeTemplate,
+    Pod,
+    PodSpec,
+    RESTART_NEVER,
+)
+from repro.nfs import NfsServer
+from repro.sim import Kernel
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(seed=4)
+
+
+@pytest.fixture
+def elastic_cluster(kernel):
+    cluster = KubernetesCluster(kernel, NfsServer(kernel))
+    cluster.registry.register("tiny", 10)
+    cluster.add_node("fixed-0", gpus=2, gpu_type="k80", labels={"pool": "gpu"})
+    autoscaler = ClusterAutoscaler(
+        kernel, cluster, template=NodeTemplate(gpus=2, gpu_type="k80"),
+        min_nodes=0, max_nodes=3, boot_time=20.0, idle_timeout=60.0,
+    )
+    cluster.controllers.append(autoscaler)
+    cluster.start()
+    return cluster, autoscaler
+
+
+def gpu_pod(name, gpus=2, duration=1e6):
+    def workload(ctx):
+        yield ctx.kernel.sleep(duration)
+        return 0
+
+    spec = PodSpec(
+        containers=[ContainerSpec("c", "tiny", workload=workload, gpus=gpus)],
+        restart_policy=RESTART_NEVER,
+        gpu_type="k80",
+    )
+    return Pod(name, spec)
+
+
+class TestScaleUp:
+    def test_pending_pod_triggers_node_boot(self, kernel, elastic_cluster):
+        cluster, autoscaler = elastic_cluster
+        cluster.api.create(gpu_pod("hog"))  # fills the fixed node
+        cluster.api.create(gpu_pod("queued"))
+        kernel.run(until=60.0)
+        assert autoscaler.scale_ups >= 1
+        queued = cluster.api.get("Pod", "queued")
+        assert queued.node_name is not None
+        assert queued.node_name.startswith("autoscale-")
+
+    def test_boot_time_is_paid(self, kernel, elastic_cluster):
+        cluster, _autoscaler = elastic_cluster
+        cluster.api.create(gpu_pod("hog"))
+        cluster.api.create(gpu_pod("queued"))
+        kernel.run(until=15.0)  # under the 20s boot time
+        assert cluster.api.get("Pod", "queued").node_name is None
+        kernel.run(until=60.0)
+        assert cluster.api.get("Pod", "queued").node_name is not None
+
+    def test_max_nodes_respected(self, kernel, elastic_cluster):
+        cluster, autoscaler = elastic_cluster
+        for i in range(10):  # demand far beyond max
+            cluster.api.create(gpu_pod(f"p{i}"))
+        kernel.run(until=200.0)
+        pool = [n for n in cluster.api.list("Node", namespace="")
+                if n.metadata.labels.get("autoscaled") == "true"]
+        assert len(pool) == 3
+
+    def test_no_scale_up_when_capacity_exists(self, kernel, elastic_cluster):
+        cluster, autoscaler = elastic_cluster
+        cluster.api.create(gpu_pod("fits"))
+        kernel.run(until=60.0)
+        assert autoscaler.scale_ups == 0
+
+    def test_wrong_gpu_type_ignored(self, kernel, elastic_cluster):
+        cluster, autoscaler = elastic_cluster
+
+        def workload(ctx):
+            yield ctx.kernel.sleep(1e6)
+            return 0
+
+        spec = PodSpec(
+            containers=[ContainerSpec("c", "tiny", workload=workload, gpus=1)],
+            restart_policy=RESTART_NEVER,
+            gpu_type="p100-pcie",
+        )
+        cluster.api.create(Pod("wrong-type", spec))
+        kernel.run(until=60.0)
+        assert autoscaler.scale_ups == 0
+
+
+class TestScaleDown:
+    def test_idle_autoscaled_node_retired(self, kernel, elastic_cluster):
+        cluster, autoscaler = elastic_cluster
+        cluster.api.create(gpu_pod("hog", duration=1e6))
+        cluster.api.create(gpu_pod("short", duration=30.0))
+        kernel.run(until=300.0)  # short pod done; idle_timeout=60 elapses
+        pool = [n for n in cluster.api.list("Node", namespace="")
+                if n.metadata.labels.get("autoscaled") == "true"]
+        assert pool == []
+        assert autoscaler.scale_downs >= 1
+
+    def test_fixed_nodes_never_retired(self, kernel, elastic_cluster):
+        cluster, _autoscaler = elastic_cluster
+        kernel.run(until=400.0)  # fixed node idle the whole time
+        assert cluster.api.exists("Node", "fixed-0", namespace="")
+
+    def test_busy_node_not_retired(self, kernel, elastic_cluster):
+        cluster, autoscaler = elastic_cluster
+        cluster.api.create(gpu_pod("hog", duration=1e6))
+        cluster.api.create(gpu_pod("also-long", duration=1e6))
+        kernel.run(until=400.0)
+        pod = cluster.api.get("Pod", "also-long")
+        node = cluster.api.get("Node", pod.node_name, namespace="")
+        assert node is not None  # still present and running the pod
+        assert pod.phase == "Running"
+
+    def test_min_nodes_floor(self, kernel):
+        cluster = KubernetesCluster(kernel, NfsServer(kernel))
+        cluster.registry.register("tiny", 10)
+        autoscaler = ClusterAutoscaler(
+            kernel, cluster, template=NodeTemplate(gpus=2, gpu_type="k80"),
+            min_nodes=1, max_nodes=3, boot_time=5.0, idle_timeout=30.0,
+        )
+        cluster.controllers.append(autoscaler)
+        cluster.start()
+        cluster.api.create(gpu_pod("burst", duration=10.0))
+        kernel.run(until=500.0)
+        pool = [n for n in cluster.api.list("Node", namespace="")
+                if n.metadata.labels.get("autoscaled") == "true"]
+        assert len(pool) == 1  # scaled to min, not zero
+
+
+class TestValidation:
+    def test_bad_bounds_rejected(self, kernel):
+        cluster = KubernetesCluster(kernel, NfsServer(kernel))
+        with pytest.raises(ValueError):
+            ClusterAutoscaler(kernel, cluster, min_nodes=5, max_nodes=2)

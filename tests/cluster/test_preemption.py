@@ -1,0 +1,110 @@
+"""Scheduler preemption tests."""
+
+from repro.cluster import ContainerSpec, Pod, PodSpec, RESTART_NEVER
+
+
+def gpu_pod(name, gpus=2, priority=0, duration=1e6):
+    def workload(ctx):
+        yield ctx.kernel.sleep(duration)
+        return 0
+
+    spec = PodSpec(
+        containers=[ContainerSpec("c", "tiny", workload=workload, gpus=gpus)],
+        restart_policy=RESTART_NEVER,
+        gpu_type="k80",
+        priority=priority,
+    )
+    return Pod(name, spec)
+
+
+def fill_cluster(cluster, priority=0):
+    # 3 nodes x 4 GPUs: six 2-GPU pods fill everything.
+    pods = [gpu_pod(f"low-{i}", priority=priority) for i in range(6)]
+    for pod in pods:
+        cluster.api.create(pod)
+    return pods
+
+
+class TestPreemption:
+    def test_high_priority_evicts_lowest(self, kernel, cluster):
+        fill_cluster(cluster, priority=10)
+        kernel.run(until=3.0)
+        urgent = gpu_pod("urgent", gpus=2, priority=90)
+        cluster.api.create(urgent)
+        kernel.run(until=10.0)
+        assert urgent.node_name is not None
+        events = [e for e in cluster.api.events if e.reason == "Preempted"]
+        assert len(events) == 1
+
+    def test_equal_priority_never_preempts(self, kernel, cluster):
+        fill_cluster(cluster, priority=50)
+        kernel.run(until=3.0)
+        peer = gpu_pod("peer", gpus=2, priority=50)
+        cluster.api.create(peer)
+        kernel.run(until=10.0)
+        assert peer.node_name is None
+        assert not [e for e in cluster.api.events if e.reason == "Preempted"]
+
+    def test_zero_priority_never_triggers_preemption(self, kernel, cluster):
+        fill_cluster(cluster, priority=0)
+        kernel.run(until=3.0)
+        newcomer = gpu_pod("newcomer", gpus=2, priority=0)
+        cluster.api.create(newcomer)
+        kernel.run(until=10.0)
+        assert newcomer.node_name is None
+
+    def test_minimum_victims_chosen(self, kernel, cluster):
+        # One node holds a single 4-GPU pod; others hold two 2-GPU pods
+        # each. A 4-GPU urgent pod should evict the single big pod, not
+        # two small ones.
+        big = gpu_pod("big", gpus=4, priority=10)
+        cluster.api.create(big)
+        kernel.run(until=2.0)
+        smalls = [gpu_pod(f"small-{i}", gpus=2, priority=10) for i in range(4)]
+        for pod in smalls:
+            cluster.api.create(pod)
+        kernel.run(until=4.0)
+        urgent = gpu_pod("urgent", gpus=4, priority=90)
+        cluster.api.create(urgent)
+        kernel.run(until=12.0)
+        assert urgent.node_name is not None
+        preempted = {e.name for e in cluster.api.events if e.reason == "Preempted"}
+        assert preempted == {"big"}
+
+    def test_preemption_disabled_flag(self, kernel, cluster):
+        cluster.scheduler.preemption = False
+        fill_cluster(cluster, priority=10)
+        kernel.run(until=3.0)
+        urgent = gpu_pod("urgent", gpus=2, priority=90)
+        cluster.api.create(urgent)
+        kernel.run(until=10.0)
+        assert urgent.node_name is None
+
+    def test_non_gpu_pods_are_never_victims(self, kernel, cluster):
+        fill_cluster(cluster, priority=10)
+
+        def forever(ctx):
+            yield ctx.kernel.sleep(1e6)
+            return 0
+
+        sidecar_spec = PodSpec(
+            containers=[ContainerSpec("c", "tiny", workload=forever)],
+            restart_policy=RESTART_NEVER,
+            priority=1,
+        )
+        cluster.api.create(Pod("cpu-sidecar", sidecar_spec))
+        kernel.run(until=3.0)
+        urgent = gpu_pod("urgent", gpus=2, priority=90)
+        cluster.api.create(urgent)
+        kernel.run(until=10.0)
+        preempted = {e.name for e in cluster.api.events if e.reason == "Preempted"}
+        assert "cpu-sidecar" not in preempted
+
+    def test_impossible_demand_preempts_nothing(self, kernel, cluster):
+        fill_cluster(cluster, priority=10)
+        kernel.run(until=3.0)
+        impossible = gpu_pod("impossible", gpus=8, priority=90)  # > any node
+        cluster.api.create(impossible)
+        kernel.run(until=10.0)
+        assert impossible.node_name is None
+        assert not [e for e in cluster.api.events if e.reason == "Preempted"]

@@ -1,0 +1,67 @@
+"""Unit tests for authentication, rate limiting and metering."""
+
+import pytest
+
+from repro.core import AuthError, RateLimited, RateLimiter, TokenRegistry
+from repro.sim import Kernel
+
+
+class TestTokenRegistry:
+    def test_create_and_authenticate(self):
+        registry = TokenRegistry()
+        token = registry.create_tenant("team-a")
+        assert registry.authenticate(token) == "team-a"
+
+    def test_same_tenant_same_token(self):
+        registry = TokenRegistry()
+        assert registry.create_tenant("t") == registry.create_tenant("t")
+
+    def test_distinct_tenants_distinct_tokens(self):
+        registry = TokenRegistry()
+        assert registry.create_tenant("a") != registry.create_tenant("b")
+
+    def test_invalid_token_rejected(self):
+        registry = TokenRegistry()
+        with pytest.raises(AuthError):
+            registry.authenticate("forged-token")
+
+    def test_revoked_token_rejected(self):
+        registry = TokenRegistry()
+        token = registry.create_tenant("t")
+        registry.revoke("t")
+        with pytest.raises(AuthError):
+            registry.authenticate(token)
+
+
+class TestRateLimiter:
+    def test_burst_allowed(self):
+        kernel = Kernel()
+        limiter = RateLimiter(kernel, rate=10.0, burst=5.0)
+        for _ in range(5):
+            limiter.check("t")
+        with pytest.raises(RateLimited):
+            limiter.check("t")
+
+    def test_refill_over_time(self):
+        kernel = Kernel()
+        limiter = RateLimiter(kernel, rate=10.0, burst=5.0)
+        for _ in range(5):
+            limiter.check("t")
+        kernel.run(until=1.0)  # 10 tokens refill, capped at burst
+        for _ in range(5):
+            limiter.check("t")
+
+    def test_tenants_independent(self):
+        kernel = Kernel()
+        limiter = RateLimiter(kernel, rate=10.0, burst=1.0)
+        limiter.check("a")
+        limiter.check("b")  # b has its own bucket
+        with pytest.raises(RateLimited):
+            limiter.check("a")
+
+    def test_invalid_parameters(self):
+        kernel = Kernel()
+        with pytest.raises(ValueError):
+            RateLimiter(kernel, rate=0)
+        with pytest.raises(ValueError):
+            RateLimiter(kernel, rate=1, burst=0)

@@ -1,0 +1,116 @@
+"""Unit tests for the job lifecycle state machine."""
+
+import pytest
+
+from repro.core import (
+    COMPLETED,
+    DEPLOYING,
+    DOWNLOADING,
+    FAILED,
+    HALTED,
+    PROCESSING,
+    QUEUED,
+    STORING,
+    IllegalTransition,
+    StatusHistory,
+    aggregate_learner_statuses,
+    is_terminal,
+    validate_transition,
+)
+
+
+class TestTransitions:
+    def test_happy_path(self):
+        path = [QUEUED, DEPLOYING, DOWNLOADING, PROCESSING, STORING, COMPLETED]
+        for current, nxt in zip(path, path[1:]):
+            validate_transition(current, nxt)
+
+    def test_failure_from_anywhere_nonterminal(self):
+        for status in (QUEUED, DEPLOYING, DOWNLOADING, PROCESSING, STORING):
+            validate_transition(status, FAILED)
+            validate_transition(status, HALTED)
+
+    def test_no_exit_from_terminal(self):
+        for terminal in (COMPLETED, FAILED, HALTED):
+            for target in (QUEUED, PROCESSING, FAILED, COMPLETED):
+                if target == terminal:
+                    continue
+                with pytest.raises(IllegalTransition):
+                    validate_transition(terminal, target)
+
+    def test_same_status_is_noop(self):
+        validate_transition(PROCESSING, PROCESSING)
+
+    def test_redeploy_rollback_allowed(self):
+        # Guardian crash mid-run: rollback takes the job back to DEPLOYING.
+        validate_transition(DOWNLOADING, DEPLOYING)
+        validate_transition(PROCESSING, DEPLOYING)
+
+    def test_skipping_forward_illegally_rejected(self):
+        with pytest.raises(IllegalTransition):
+            validate_transition(QUEUED, PROCESSING)
+        with pytest.raises(IllegalTransition):
+            validate_transition(DEPLOYING, COMPLETED)
+
+    def test_is_terminal(self):
+        assert is_terminal(COMPLETED) and is_terminal(FAILED) and is_terminal(HALTED)
+        assert not is_terminal(PROCESSING)
+
+
+class TestAggregation:
+    def test_empty_is_deploying(self):
+        assert aggregate_learner_statuses([]) == DEPLOYING
+
+    def test_any_failed_fails_job(self):
+        assert aggregate_learner_statuses([PROCESSING, FAILED, COMPLETED]) == FAILED
+
+    def test_slowest_learner_wins(self):
+        assert aggregate_learner_statuses([PROCESSING, DOWNLOADING]) == DOWNLOADING
+        assert aggregate_learner_statuses([COMPLETED, PROCESSING]) == PROCESSING
+
+    def test_all_completed(self):
+        assert aggregate_learner_statuses([COMPLETED, COMPLETED]) == COMPLETED
+
+    def test_halt_propagates(self):
+        assert aggregate_learner_statuses([PROCESSING, HALTED]) == HALTED
+
+
+class TestStatusHistory:
+    def test_initial_entry(self):
+        history = StatusHistory(time=1.0)
+        assert history.current == QUEUED
+        assert history.entries == [(QUEUED, 1.0)]
+
+    def test_advance_records_timestamps(self):
+        history = StatusHistory(time=0.0)
+        assert history.advance(DEPLOYING, 2.0)
+        assert history.advance(DOWNLOADING, 5.0)
+        assert history.current == DOWNLOADING
+
+    def test_advance_same_status_is_noop(self):
+        history = StatusHistory(time=0.0)
+        history.advance(DEPLOYING, 1.0)
+        assert not history.advance(DEPLOYING, 2.0)
+        assert len(history.entries) == 2
+
+    def test_illegal_advance_raises(self):
+        history = StatusHistory(time=0.0)
+        with pytest.raises(IllegalTransition):
+            history.advance(COMPLETED, 1.0)
+
+    def test_time_in_status(self):
+        history = StatusHistory(time=0.0)
+        history.advance(DEPLOYING, 10.0)
+        history.advance(DOWNLOADING, 16.0)
+        assert history.time_in(QUEUED) == 10.0
+        assert history.time_in(DEPLOYING) == 6.0
+        assert history.time_in(DOWNLOADING) == 0.0  # still open
+
+    def test_as_documents(self):
+        history = StatusHistory(time=0.0)
+        history.advance(DEPLOYING, 3.0)
+        docs = history.as_documents()
+        assert docs == [
+            {"status": QUEUED, "time": 0.0},
+            {"status": DEPLOYING, "time": 3.0},
+        ]

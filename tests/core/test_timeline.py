@@ -1,0 +1,74 @@
+"""Unit tests for the job timeline tool."""
+
+from repro.core import job_timeline, render_timeline
+
+
+class FakePlatform:
+    """Just enough platform surface for timeline assembly."""
+
+    class _K8s:
+        class _Api:
+            def __init__(self):
+                self.events = []
+
+        def __init__(self):
+            self.api = self._Api()
+
+    def __init__(self, tracer):
+        self.tracer = tracer
+        self.k8s = self._K8s()
+
+
+def make_platform():
+    from repro.sim import Kernel, Tracer
+
+    kernel = Kernel()
+    return FakePlatform(Tracer(kernel)), kernel
+
+
+class TestJobTimeline:
+    def test_merges_sources_in_time_order(self):
+        platform, kernel = make_platform()
+        platform.tracer.emit("guardian", "component-ready", job="job-1")
+
+        def later():
+            yield kernel.sleep(5.0)
+            platform.tracer.emit("learner-0", "learner-exit", job="job-1",
+                                 exit_code=0)
+
+        kernel.spawn(later())
+        kernel.run()
+        from repro.cluster.apiserver import ClusterEvent
+
+        platform.k8s.api.events.append(
+            ClusterEvent(2.0, "Pod", "job-1-learner-0", "Scheduled", "gpu-0"))
+        doc = {"status_history": [{"status": "QUEUED", "time": 0.5}]}
+
+        entries = job_timeline(platform, "job-1", status_doc=doc)
+        times = [t for t, _s, _x in entries]
+        assert times == sorted(times)
+        sources = [s for _t, s, _x in entries]
+        # guardian fired at t=0, status recorded at t=0.5.
+        assert sources == ["guardian", "status", "k8s:pod", "learner-0"]
+
+    def test_other_jobs_excluded(self):
+        platform, _kernel = make_platform()
+        platform.tracer.emit("guardian", "component-ready", job="job-1")
+        platform.tracer.emit("guardian", "component-ready", job="job-2")
+        entries = job_timeline(platform, "job-1")
+        assert len(entries) == 1
+
+    def test_render_elides_middle(self):
+        platform, _kernel = make_platform()
+        for i in range(40):
+            platform.tracer.emit("c", "event", job="j", n=i)
+        text = render_timeline(job_timeline(platform, "j"), limit=10)
+        assert "elided" in text
+        assert text.count("\n") <= 12
+
+    def test_render_plain(self):
+        platform, _kernel = make_platform()
+        platform.tracer.emit("api", "component-ready", job="j")
+        text = render_timeline(job_timeline(platform, "j"))
+        assert "component-ready" in text
+        assert "0.00s" in text

@@ -1,0 +1,106 @@
+"""Tests for the aggregation pipeline."""
+
+import pytest
+
+from repro.docstore import Collection, InvalidQuery, aggregate
+
+JOBS = [
+    {"tenant": "a", "status": "COMPLETED", "gpus": 1, "seconds": 100},
+    {"tenant": "a", "status": "COMPLETED", "gpus": 4, "seconds": 400},
+    {"tenant": "a", "status": "FAILED", "gpus": 2, "seconds": 50},
+    {"tenant": "b", "status": "COMPLETED", "gpus": 2, "seconds": 200},
+    {"tenant": "b", "status": "PROCESSING", "gpus": 1, "seconds": 0},
+]
+
+
+class TestStages:
+    def test_match(self):
+        out = aggregate(JOBS, [{"$match": {"status": "COMPLETED"}}])
+        assert len(out) == 3
+
+    def test_group_sum_and_count(self):
+        out = aggregate(JOBS, [
+            {"$group": {"_id": "$tenant",
+                        "total_seconds": {"$sum": "$seconds"},
+                        "jobs": {"$count": 1}}},
+            {"$sort": {"_id": 1}},
+        ])
+        assert out == [
+            {"_id": "a", "total_seconds": 550, "jobs": 3},
+            {"_id": "b", "total_seconds": 200, "jobs": 2},
+        ]
+
+    def test_group_avg_min_max(self):
+        out = aggregate(JOBS, [
+            {"$group": {"_id": None,
+                        "avg": {"$avg": "$gpus"},
+                        "min": {"$min": "$gpus"},
+                        "max": {"$max": "$gpus"}}},
+        ])
+        assert out[0]["avg"] == pytest.approx(2.0)
+        assert out[0]["min"] == 1 and out[0]["max"] == 4
+
+    def test_group_push(self):
+        out = aggregate(JOBS, [
+            {"$match": {"tenant": "b"}},
+            {"$group": {"_id": "$tenant", "statuses": {"$push": "$status"}}},
+        ])
+        assert out[0]["statuses"] == ["COMPLETED", "PROCESSING"]
+
+    def test_sort_limit_skip(self):
+        out = aggregate(JOBS, [
+            {"$sort": {"seconds": -1}},
+            {"$skip": 1},
+            {"$limit": 2},
+        ])
+        assert [d["seconds"] for d in out] == [200, 100]
+
+    def test_project_rename_and_keep(self):
+        out = aggregate(JOBS[:1], [
+            {"$project": {"tenant": 1, "usage": "$seconds"}},
+        ])
+        assert out == [{"tenant": "a", "usage": 100}]
+
+    def test_pipeline_composes(self):
+        # The admin rollup: completed GPU-seconds by tenant, busiest first.
+        out = aggregate(JOBS, [
+            {"$match": {"status": "COMPLETED"}},
+            {"$group": {"_id": "$tenant", "gpu_seconds": {"$sum": "$seconds"}}},
+            {"$sort": {"gpu_seconds": -1}},
+        ])
+        assert [d["_id"] for d in out] == ["a", "b"]
+
+    def test_does_not_mutate_source(self):
+        snapshot = [dict(doc) for doc in JOBS]
+        aggregate(JOBS, [{"$project": {"tenant": 1}}])
+        assert JOBS == snapshot
+
+
+class TestValidation:
+    def test_unknown_stage(self):
+        with pytest.raises(InvalidQuery):
+            aggregate(JOBS, [{"$frobnicate": {}}])
+
+    def test_group_requires_id(self):
+        with pytest.raises(InvalidQuery):
+            aggregate(JOBS, [{"$group": {"n": {"$count": 1}}}])
+
+    def test_bad_accumulator(self):
+        with pytest.raises(InvalidQuery):
+            aggregate(JOBS, [{"$group": {"_id": None, "x": {"$median": "$gpus"}}}])
+
+    def test_multi_key_stage_rejected(self):
+        with pytest.raises(InvalidQuery):
+            aggregate(JOBS, [{"$match": {}, "$limit": 2}])
+
+
+class TestCollectionIntegration:
+    def test_collection_aggregate(self):
+        coll = Collection("jobs")
+        for doc in JOBS:
+            coll.insert_one(doc)
+        out = coll.aggregate([
+            {"$group": {"_id": "$status", "n": {"$count": 1}}},
+            {"$sort": {"n": -1}},
+        ])
+        assert out[0]["_id"] == "COMPLETED" and out[0]["n"] == 3

@@ -1,0 +1,73 @@
+"""Edge-case tests: ObjectId, Database, find_one_and_update variants."""
+
+import pytest
+
+from repro.docstore import Collection, Database, ObjectId
+
+
+class TestObjectId:
+    def test_unique_and_ordered(self):
+        first, second = ObjectId(), ObjectId()
+        assert first != second
+        assert first < second
+
+    def test_hashable(self):
+        oid = ObjectId()
+        assert ObjectId(oid) == oid
+        assert len({oid, ObjectId(oid)}) == 1
+
+    def test_str_is_24_hex(self):
+        text = str(ObjectId())
+        assert len(text) == 24
+        int(text, 16)
+
+    def test_invalid_value_rejected(self):
+        with pytest.raises(TypeError):
+            ObjectId("not-an-int")
+        with pytest.raises(TypeError):
+            ObjectId(-1)
+
+    def test_comparison_with_other_types(self):
+        assert ObjectId() != "string"
+        with pytest.raises(TypeError):
+            ObjectId() < 5
+
+
+class TestDatabase:
+    def test_collections_created_on_access(self):
+        db = Database("dlaas")
+        coll = db.collection("jobs")
+        assert coll is db["jobs"]
+        assert db.collection_names() == ["jobs"]
+        assert coll.name == "dlaas.jobs"
+
+    def test_drop_collection(self):
+        db = Database("dlaas")
+        db["jobs"].insert_one({"a": 1})
+        db.drop_collection("jobs")
+        assert db.collection_names() == []
+        assert db["jobs"].count_documents({}) == 0
+
+    def test_drop_missing_is_noop(self):
+        Database("d").drop_collection("ghost")
+
+
+class TestFindOneAndUpdate:
+    def test_return_old_document(self):
+        coll = Collection("t")
+        coll.insert_one({"k": "a", "n": 1})
+        old = coll.find_one_and_update({"k": "a"}, {"$inc": {"n": 1}},
+                                       return_new=False)
+        assert old["n"] == 1
+        assert coll.find_one({})["n"] == 2
+
+    def test_missing_returns_none(self):
+        coll = Collection("t")
+        assert coll.find_one_and_update({"k": "ghost"}, {"$set": {"x": 1}}) is None
+
+    def test_returned_documents_are_copies(self):
+        coll = Collection("t")
+        coll.insert_one({"k": "a", "nested": {"x": 1}})
+        doc = coll.find_one_and_update({"k": "a"}, {"$set": {"y": 2}})
+        doc["nested"]["x"] = 99
+        assert coll.find_one({})["nested"]["x"] == 1

@@ -1,0 +1,102 @@
+"""Unit tests for query matching."""
+
+import pytest
+
+from repro.docstore import InvalidQuery, matches
+
+DOC = {
+    "name": "job-1",
+    "status": "PROCESSING",
+    "learners": 4,
+    "framework": {"name": "tensorflow", "version": "1.5"},
+    "tags": ["gpu", "vision"],
+    "progress": 0.42,
+}
+
+
+class TestImplicitEquality:
+    def test_equal(self):
+        assert matches(DOC, {"name": "job-1"})
+
+    def test_not_equal(self):
+        assert not matches(DOC, {"name": "job-2"})
+
+    def test_dotted_path(self):
+        assert matches(DOC, {"framework.name": "tensorflow"})
+        assert not matches(DOC, {"framework.name": "caffe"})
+
+    def test_missing_field_matches_none(self):
+        assert matches(DOC, {"missing": None})
+        assert not matches(DOC, {"missing": "x"})
+
+    def test_array_contains(self):
+        assert matches(DOC, {"tags": "gpu"})
+        assert not matches(DOC, {"tags": "audio"})
+
+    def test_multiple_fields_are_anded(self):
+        assert matches(DOC, {"name": "job-1", "learners": 4})
+        assert not matches(DOC, {"name": "job-1", "learners": 5})
+
+    def test_empty_query_matches_all(self):
+        assert matches(DOC, {})
+
+
+class TestComparisons:
+    def test_gt_lt(self):
+        assert matches(DOC, {"learners": {"$gt": 3}})
+        assert not matches(DOC, {"learners": {"$gt": 4}})
+        assert matches(DOC, {"learners": {"$gte": 4}})
+        assert matches(DOC, {"learners": {"$lt": 5}})
+        assert matches(DOC, {"learners": {"$lte": 4}})
+
+    def test_comparison_on_missing_field(self):
+        assert not matches(DOC, {"missing": {"$gt": 0}})
+
+    def test_comparison_type_mismatch_is_false(self):
+        assert not matches(DOC, {"name": {"$gt": 3}})
+
+    def test_ne(self):
+        assert matches(DOC, {"status": {"$ne": "FAILED"}})
+        assert not matches(DOC, {"status": {"$ne": "PROCESSING"}})
+
+    def test_in_nin(self):
+        assert matches(DOC, {"status": {"$in": ["QUEUED", "PROCESSING"]}})
+        assert not matches(DOC, {"status": {"$nin": ["QUEUED", "PROCESSING"]}})
+        assert matches(DOC, {"status": {"$nin": ["FAILED"]}})
+
+    def test_in_requires_list(self):
+        with pytest.raises(InvalidQuery):
+            matches(DOC, {"status": {"$in": "PROCESSING"}})
+
+    def test_exists(self):
+        assert matches(DOC, {"progress": {"$exists": True}})
+        assert matches(DOC, {"missing": {"$exists": False}})
+        assert not matches(DOC, {"missing": {"$exists": True}})
+
+    def test_regex(self):
+        assert matches(DOC, {"name": {"$regex": r"^job-\d+$"}})
+        assert not matches(DOC, {"name": {"$regex": r"^task-"}})
+
+    def test_not(self):
+        assert matches(DOC, {"learners": {"$not": {"$gt": 10}}})
+        assert not matches(DOC, {"learners": {"$not": {"$gt": 1}}})
+
+
+class TestLogical:
+    def test_and(self):
+        assert matches(DOC, {"$and": [{"name": "job-1"}, {"learners": {"$gte": 4}}]})
+        assert not matches(DOC, {"$and": [{"name": "job-1"}, {"learners": 99}]})
+
+    def test_or(self):
+        assert matches(DOC, {"$or": [{"name": "nope"}, {"status": "PROCESSING"}]})
+        assert not matches(DOC, {"$or": [{"name": "nope"}, {"status": "FAILED"}]})
+
+    def test_nor(self):
+        assert matches(DOC, {"$nor": [{"name": "nope"}, {"status": "FAILED"}]})
+        assert not matches(DOC, {"$nor": [{"status": "PROCESSING"}]})
+
+    def test_unknown_operator_raises(self):
+        with pytest.raises(InvalidQuery):
+            matches(DOC, {"$xor": []})
+        with pytest.raises(InvalidQuery):
+            matches(DOC, {"learners": {"$almost": 4}})

@@ -1,0 +1,214 @@
+"""Tests for the analytic performance model and its calibration shape."""
+
+import pytest
+
+from repro.frameworks import (
+    BARE_METAL,
+    CAFFE,
+    DGX1,
+    DLAAS,
+    ETH_1G,
+    HOROVOD,
+    INCEPTIONV3,
+    K80,
+    NVLINK,
+    P100_PCIE,
+    P100_SXM2,
+    PCIE3,
+    RESNET50,
+    TENSORFLOW,
+    VGG16,
+    WorkloadConfig,
+    achieved_tflops,
+    communication_time,
+    compute_time,
+    get_framework,
+    get_gpu,
+    get_model,
+    images_per_sec,
+    overhead_percent,
+    step_time,
+)
+
+
+def k80_config(model, framework, gpus):
+    return WorkloadConfig(model=model, framework=framework, gpu=K80,
+                          gpus_per_learner=gpus, intra_node=PCIE3)
+
+
+class TestCatalogues:
+    def test_lookup_by_name(self):
+        assert get_model("VGG16") is VGG16
+        assert get_gpu("K80") is K80
+        assert get_framework("TensorFlow") is TENSORFLOW
+
+    def test_unknown_names_raise(self):
+        with pytest.raises(KeyError):
+            get_model("lenet-9000")
+        with pytest.raises(KeyError):
+            get_gpu("h100")
+        with pytest.raises(KeyError):
+            get_framework("jax")
+
+    def test_gradient_and_checkpoint_sizes(self):
+        assert VGG16.gradient_mb == pytest.approx(552.0)
+        assert VGG16.checkpoint_mb == pytest.approx(1104.0)
+
+
+class TestComputeModel:
+    def test_p100_faster_than_k80(self):
+        assert achieved_tflops(P100_PCIE, RESNET50) > achieved_tflops(K80, RESNET50)
+
+    def test_hbm_gap_scales_with_sensitivity(self):
+        gap = lambda m: 1 - achieved_tflops(P100_PCIE, m) / achieved_tflops(P100_SXM2, m)
+        assert gap(INCEPTIONV3) < gap(RESNET50) < gap(VGG16)
+
+    def test_compute_time_linear_in_batch(self):
+        small = WorkloadConfig(model=RESNET50, framework=TENSORFLOW, gpu=K80,
+                               batch_per_gpu=32)
+        large = WorkloadConfig(model=RESNET50, framework=TENSORFLOW, gpu=K80,
+                               batch_per_gpu=64)
+        assert compute_time(large) == pytest.approx(2 * compute_time(small))
+
+    def test_throughput_plausible_ranges(self):
+        # Sanity band, not exact numbers: single P100, ResNet-50.
+        cfg = WorkloadConfig(model=RESNET50, framework=TENSORFLOW, gpu=P100_PCIE)
+        ips = images_per_sec(cfg, BARE_METAL)
+        assert 100 < ips < 400
+
+
+class TestCommunicationModel:
+    def test_single_gpu_has_no_comm(self):
+        assert communication_time(k80_config(VGG16, CAFFE, 1)) == 0.0
+
+    def test_comm_grows_with_gpus(self):
+        times = [communication_time(k80_config(VGG16, CAFFE, g)) for g in (2, 3, 4)]
+        assert times[0] < times[1] < times[2]
+
+    def test_nvlink_cheaper_than_pcie(self):
+        pcie = WorkloadConfig(model=VGG16, framework=TENSORFLOW, gpu=P100_PCIE,
+                              gpus_per_learner=4, intra_node=PCIE3)
+        nvlink = WorkloadConfig(model=VGG16, framework=TENSORFLOW, gpu=P100_SXM2,
+                                gpus_per_learner=4, intra_node=NVLINK)
+        assert communication_time(nvlink) < communication_time(pcie)
+
+    def test_bigger_gradients_cost_more(self):
+        vgg = k80_config(VGG16, TENSORFLOW, 4)
+        inception = k80_config(INCEPTIONV3, TENSORFLOW, 4)
+        assert communication_time(vgg) > communication_time(inception)
+
+    def test_multi_gpu_requires_interconnect(self):
+        cfg = WorkloadConfig(model=VGG16, framework=CAFFE, gpu=K80,
+                             gpus_per_learner=2, intra_node=None)
+        with pytest.raises(ValueError):
+            communication_time(cfg)
+
+    def test_multi_learner_pays_ethernet(self):
+        single = WorkloadConfig(model=RESNET50, framework=HOROVOD, gpu=P100_PCIE,
+                                gpus_per_learner=1, learners=1)
+        multi = WorkloadConfig(model=RESNET50, framework=HOROVOD, gpu=P100_PCIE,
+                               gpus_per_learner=1, learners=4, inter_node=ETH_1G)
+        assert communication_time(multi) > communication_time(single)
+        assert images_per_sec(multi, DLAAS) < 4 * images_per_sec(single, DLAAS)
+
+
+class TestScaling:
+    def test_near_linear_intra_node_scaling(self):
+        ips = [images_per_sec(k80_config(INCEPTIONV3, TENSORFLOW, g), BARE_METAL)
+               for g in (1, 2, 4)]
+        assert ips[1] > 1.8 * ips[0]
+        assert ips[2] > 3.4 * ips[0]
+        assert ips[2] < 4.0 * ips[0]  # never superlinear
+
+
+class TestFig2Shape:
+    """DLaaS vs bare metal on K80 (paper Fig. 2): small single-digit
+    overheads for every configuration."""
+
+    @pytest.mark.parametrize("model,framework", [(VGG16, CAFFE), (INCEPTIONV3, TENSORFLOW)])
+    @pytest.mark.parametrize("gpus", [1, 2, 3, 4])
+    def test_overhead_band(self, model, framework, gpus):
+        overhead = overhead_percent(k80_config(model, framework, gpus),
+                                    DLAAS, BARE_METAL)
+        assert 0.0 < overhead < 7.0
+
+    def test_deterministic(self):
+        cfg = k80_config(VGG16, CAFFE, 2)
+        assert overhead_percent(cfg, DLAAS, BARE_METAL) == \
+            overhead_percent(cfg, DLAAS, BARE_METAL)
+
+
+class TestFig3Shape:
+    """DLaaS on PCIe P100 vs DGX-1 (paper Fig. 3)."""
+
+    @staticmethod
+    def degradation(model, gpus):
+        dlaas_cfg = WorkloadConfig(model=model, framework=TENSORFLOW, gpu=P100_PCIE,
+                                   gpus_per_learner=gpus, intra_node=PCIE3)
+        dgx_cfg = WorkloadConfig(model=model, framework=TENSORFLOW, gpu=P100_SXM2,
+                                 gpus_per_learner=gpus, intra_node=NVLINK)
+        return overhead_percent(dlaas_cfg, DLAAS, DGX1, baseline_config=dgx_cfg)
+
+    def test_dgx_always_wins(self):
+        for model in (INCEPTIONV3, RESNET50, VGG16):
+            for gpus in (1, 2):
+                assert self.degradation(model, gpus) > 0
+
+    def test_degradation_at_most_modest(self):
+        # Paper: "non-trivial but only modest (up to ~15%)".
+        for model in (INCEPTIONV3, RESNET50, VGG16):
+            for gpus in (1, 2):
+                assert self.degradation(model, gpus) < 17.0
+
+    def test_single_gpu_ordering_matches_bw_sensitivity(self):
+        assert (self.degradation(INCEPTIONV3, 1)
+                < self.degradation(RESNET50, 1)
+                < self.degradation(VGG16, 1))
+
+    def test_vgg_two_gpu_worst_case(self):
+        worst = max(self.degradation(m, g)
+                    for m in (INCEPTIONV3, RESNET50, VGG16) for g in (1, 2))
+        assert worst == self.degradation(VGG16, 2)
+
+    def test_comm_heavy_models_degrade_more_with_gpus(self):
+        for model in (RESNET50, VGG16):
+            assert self.degradation(model, 2) > self.degradation(model, 1)
+
+
+class TestInputPipeline:
+    def test_streaming_can_bound_step(self):
+        # Throttle the input link hard: throughput collapses to line rate.
+        cfg = WorkloadConfig(model=INCEPTIONV3, framework=TENSORFLOW, gpu=P100_PCIE,
+                             input_bandwidth=1_000_000.0)  # 1 MB/s
+        ips = images_per_sec(cfg, BARE_METAL)
+        assert ips < 10  # 110KB/image at 1MB/s -> ~9 img/s
+
+    def test_dlaas_input_tax_only_matters_when_bound(self):
+        fast = WorkloadConfig(model=INCEPTIONV3, framework=TENSORFLOW, gpu=K80)
+        bound = WorkloadConfig(model=INCEPTIONV3, framework=TENSORFLOW, gpu=K80,
+                               input_bandwidth=500_000.0)
+        unbound_ratio = step_time(fast, DLAAS) / step_time(fast, BARE_METAL)
+        bound_ratio = step_time(bound, DLAAS) / step_time(bound, BARE_METAL)
+        assert bound_ratio > unbound_ratio
+
+
+class TestDistributionModes:
+    def test_ps_and_ring_move_same_volume(self):
+        from repro.frameworks import PYTORCH
+
+        ps = WorkloadConfig(model=RESNET50, framework=TENSORFLOW, gpu=P100_PCIE,
+                            learners=4, inter_node=ETH_1G)
+        ring = WorkloadConfig(model=RESNET50, framework=PYTORCH, gpu=P100_PCIE,
+                              learners=4, inter_node=ETH_1G)
+        # TF (parameter-server) pays fewer latency rounds than a ring;
+        # at 1GbE + 100MB gradients the bandwidth term dominates, so
+        # the difference is small but strictly in PS's favor here.
+        ps_comm = communication_time(ps)
+        ring_comm = communication_time(ring)
+        bandwidth_term = 2 * 3 / 4 * (RESNET50.gradient_mb / 1000) / ETH_1G.allreduce_gb_s
+        assert ps_comm < ring_comm or TENSORFLOW.overlap_fraction != PYTORCH.overlap_fraction
+        assert ps_comm > bandwidth_term * (1 - TENSORFLOW.overlap_fraction) * 0.9
+
+    def test_nvlink_discounts_sync_overhead(self):
+        assert TENSORFLOW.sync_overhead(2, NVLINK) < TENSORFLOW.sync_overhead(2, PCIE3)
+        assert TENSORFLOW.sync_overhead(1, PCIE3) == 0.0

@@ -1,0 +1,54 @@
+"""Admin views: cross-tenant rollups and kubectl describe/top."""
+
+from .conftest import manifest
+
+
+class TestAdminReport:
+    def test_rollup_spans_tenants(self, platform):
+        alice = platform.client("alice")
+        bob = platform.client("bob")
+
+        def scenario():
+            yield from alice.submit(manifest(name="a1", target_steps=30))
+            yield from alice.submit(manifest(name="a2", target_steps=30))
+            job = yield from bob.submit(manifest(name="b1", target_steps=30))
+            yield from bob.wait_for_status(job, timeout=10_000)
+            yield platform.kernel.sleep(5.0)
+            return (yield from platform.admin_report())
+
+        report = platform.run_process(scenario(), limit=50_000)
+        by_tenant = {row["_id"]: row for row in report["jobs_by_tenant"]}
+        assert by_tenant["alice"]["jobs"] == 2
+        assert by_tenant["bob"]["jobs"] == 1
+        assert "COMPLETED" in by_tenant["bob"]["statuses"]
+        usage = {row["_id"]: row for row in report["usage_by_tenant"]}
+        assert usage["bob"]["gpu_seconds"] > 0
+        assert report["capacity"]["gpus_total"] == 8
+
+
+class TestKubectlViews:
+    def test_describe_pod(self, platform, client):
+        def scenario():
+            job_id = yield from client.submit(manifest(target_steps=5000))
+            yield from client.wait_for_status(job_id, statuses={"PROCESSING"},
+                                              timeout=2000)
+            return job_id
+
+        job_id = platform.run_process(scenario(), limit=10_000)
+        text = platform.k8s.kubectl.describe_pod(f"{job_id}-learner-0")
+        assert f"Name:         {job_id}-learner-0" in text
+        assert "Phase:        Running" in text
+        assert "learner" in text
+        assert "Events:" in text
+
+    def test_top_nodes(self, platform, client):
+        def scenario():
+            job_id = yield from client.submit(manifest(target_steps=5000))
+            yield from client.wait_for_status(job_id, statuses={"PROCESSING"},
+                                              timeout=2000)
+
+        platform.run_process(scenario(), limit=10_000)
+        text = platform.k8s.kubectl.top_nodes()
+        assert "NODE" in text
+        # One GPU allocated somewhere.
+        assert "   1/4" in text

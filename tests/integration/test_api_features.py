@@ -1,0 +1,119 @@
+"""API-surface features: log fallback, metrics, rate limiting, usage."""
+
+import pytest
+
+from repro.core import RateLimited, layout
+
+from .conftest import make_platform, manifest
+
+
+class TestLogsFallback:
+    def test_logs_served_from_object_store_after_volume_gone(self, platform, client):
+        job_id, _doc = platform.run_process(
+            client.run_to_completion(manifest()), limit=10_000
+        )
+        # Simulate volume reclamation after teardown: the NFS volume is
+        # deleted, so logs must come from the archived object-store copy.
+        volume_name = f"pv-default-{layout.pvc_name(job_id)}"
+        platform.nfs.delete_volume(volume_name)
+
+        def tail():
+            return (yield from client.logs(job_id, tail=3))
+
+        lines = platform.run_process(tail(), limit=600)
+        assert any("exiting with code 0" in line for line in lines)
+
+    def test_logs_empty_for_job_without_output_yet(self, platform, client):
+        def scenario():
+            job_id = yield from client.submit(manifest(target_steps=5000))
+            lines = yield from client.logs(job_id)
+            return lines
+
+        lines = platform.run_process(scenario(), limit=600)
+        assert lines == []
+
+
+class TestJobMetrics:
+    def test_completed_job_reports_throughput(self, platform, client):
+        def scenario():
+            job_id, _doc = yield from client.run_to_completion(manifest())
+            yield platform.kernel.sleep(5.0)  # metrics written at finish
+            doc = yield from client.status(job_id)
+            return doc
+
+        doc = platform.run_process(scenario(), limit=50_000)
+        metrics = doc["metrics"]
+        assert metrics is not None
+        assert metrics["images_per_sec"] > 0
+        assert metrics["processing_seconds"] > 0
+        assert metrics["gpu_seconds"] > metrics["processing_seconds"] * 0.5
+
+    def test_running_job_has_no_metrics_yet(self, platform, client):
+        def scenario():
+            job_id = yield from client.submit(manifest(target_steps=5000))
+            yield from client.wait_for_status(job_id, statuses={"PROCESSING"},
+                                              timeout=2000)
+            doc = yield from client.status(job_id)
+            return doc
+
+        doc = platform.run_process(scenario(), limit=10_000)
+        assert doc["metrics"] is None
+
+
+class TestRateLimiting:
+    def test_burst_beyond_budget_rejected(self):
+        platform = make_platform(api_rate_limit=5.0, api_rate_burst=10.0)
+        client = platform.client("greedy")
+
+        def hammer():
+            for _ in range(40):
+                yield from client.list_jobs()
+
+        with pytest.raises(RateLimited):
+            platform.run_process(hammer(), limit=600)
+
+    def test_budget_refills(self):
+        platform = make_platform(api_rate_limit=5.0, api_rate_burst=10.0)
+        client = platform.client("patient")
+
+        def paced():
+            for _ in range(20):
+                yield from client.list_jobs()
+                yield platform.kernel.sleep(1.0)  # under 5 req/s
+            return True
+
+        assert platform.run_process(paced(), limit=600)
+
+
+class TestUsageReport:
+    def test_usage_accumulates_by_method(self, platform, client):
+        def scenario():
+            yield from client.submit(manifest(target_steps=20))
+            yield from client.list_jobs()
+            yield from client.list_jobs()
+            return (yield from client.usage())
+
+        report = platform.run_process(scenario(), limit=600)
+        assert report["api_calls"]["submit"] == 1
+        assert report["api_calls"]["list_jobs"] == 2
+        assert report["jobs_submitted"] == 1
+        assert report["gpus_requested"] == 1
+
+
+class TestWatchJob:
+    def test_callback_fires_per_status_change(self, platform, client):
+        observed = []
+
+        def scenario():
+            job_id = yield from client.submit(manifest(target_steps=40))
+            doc = yield from client.watch_job(
+                job_id, lambda d: observed.append(d["status"]),
+                poll_interval=1.0, timeout=5000,
+            )
+            return doc
+
+        doc = platform.run_process(scenario(), limit=50_000)
+        assert doc["status"] == "COMPLETED"
+        assert observed[-1] == "COMPLETED"
+        assert observed == sorted(set(observed), key=observed.index)  # distinct
+        assert "PROCESSING" in observed

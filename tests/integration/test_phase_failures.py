@@ -1,0 +1,106 @@
+"""Failures injected in specific lifecycle phases.
+
+The dependability suite crashes components mid-PROCESSING; these tests
+hit the other phases — data staging, result upload — plus a whole-NFS
+outage, verifying the idempotence guards (READY/DONE markers) make
+every phase safely restartable.
+"""
+
+from repro.core import ComponentCrasher
+
+from .conftest import CREDS, make_platform, manifest, wait_terminal
+
+
+class TestDownloadPhaseFailures:
+    def test_helper_crash_during_download(self):
+        platform = make_platform()
+        client = platform.client("team")
+        spec = manifest(target_steps=60, dataset_size_mb=3000)  # slow staging
+
+        def submit():
+            job_id = yield from client.submit(spec)
+            yield from client.wait_for_status(job_id, statuses={"DOWNLOADING"},
+                                              timeout=2000)
+            return job_id
+
+        job_id = platform.run_process(submit(), limit=10_000)
+        ComponentCrasher(platform).crash_helper(job_id)
+        doc = wait_terminal(platform, client, job_id)
+        assert doc["status"] == "COMPLETED"
+
+    def test_learner_crash_while_waiting_for_data(self):
+        platform = make_platform()
+        client = platform.client("team")
+        spec = manifest(target_steps=60, dataset_size_mb=3000)
+
+        def submit():
+            job_id = yield from client.submit(spec)
+            yield from client.wait_for_status(job_id, statuses={"DOWNLOADING"},
+                                              timeout=2000)
+            return job_id
+
+        job_id = platform.run_process(submit(), limit=10_000)
+        ComponentCrasher(platform).crash_learner(job_id)
+        doc = wait_terminal(platform, client, job_id)
+        assert doc["status"] == "COMPLETED"
+
+
+class TestStoringPhaseFailures:
+    def test_helper_crash_during_storing(self):
+        platform = make_platform()
+        client = platform.client("team")
+        # VGG checkpoint/model is ~1.1GB: STORING takes ~9s, a fat window.
+        spec = manifest(target_steps=40, model="vgg16", framework="caffe",
+                        checkpoint_interval=0.0)
+
+        def submit():
+            job_id = yield from client.submit(spec)
+            yield from client.wait_for_status(job_id, statuses={"STORING"},
+                                              timeout=5000)
+            return job_id
+
+        job_id = platform.run_process(submit(), limit=20_000)
+        ComponentCrasher(platform).crash_helper(job_id)
+        doc = wait_terminal(platform, client, job_id)
+        assert doc["status"] == "COMPLETED"
+        # The model made it to the object store exactly once.
+        keys = platform.object_store.list_objects("results", CREDS,
+                                                  prefix=job_id)
+        assert f"{job_id}/model" in keys
+
+    def test_guardian_crash_during_storing(self):
+        platform = make_platform()
+        client = platform.client("team")
+        spec = manifest(target_steps=40, model="vgg16", framework="caffe",
+                        checkpoint_interval=0.0)
+
+        def submit():
+            job_id = yield from client.submit(spec)
+            yield from client.wait_for_status(job_id, statuses={"STORING"},
+                                              timeout=5000)
+            return job_id
+
+        job_id = platform.run_process(submit(), limit=20_000)
+        ComponentCrasher(platform).crash_guardian(job_id)
+        doc = wait_terminal(platform, client, job_id)
+        assert doc["status"] == "COMPLETED"
+
+
+class TestNfsOutage:
+    def test_brief_nfs_outage_is_survived(self):
+        platform = make_platform()
+        client = platform.client("team")
+        spec = manifest(target_steps=400, checkpoint_interval=15.0)
+
+        def submit():
+            job_id = yield from client.submit(spec)
+            yield from client.wait_for_status(job_id, statuses={"PROCESSING"},
+                                              timeout=2000)
+            return job_id
+
+        job_id = platform.run_process(submit(), limit=10_000)
+        platform.nfs.go_down()
+        platform.run_for(10.0)
+        platform.nfs.come_up()
+        doc = wait_terminal(platform, client, job_id, timeout=10_000)
+        assert doc["status"] == "COMPLETED"

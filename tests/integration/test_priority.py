@@ -1,0 +1,78 @@
+"""End-to-end priority & preemption: urgent jobs jump the GPU queue."""
+
+from .conftest import make_platform, manifest, wait_terminal
+
+
+class TestJobPriority:
+    def test_urgent_job_preempts_and_victim_recovers(self):
+        # One node, 2 GPUs. A low-priority 2-GPU job trains; an urgent
+        # job arrives, preempts it, finishes first; the victim resumes
+        # from checkpoint and still completes.
+        platform = make_platform(gpu_nodes=1, gpus_per_node=2)
+        client = platform.client("team")
+
+        def scenario():
+            low = yield from client.submit(manifest(
+                name="background", gpus_per_learner=2, target_steps=800,
+                checkpoint_interval=15.0, priority=10,
+            ))
+            yield from client.wait_for_status(low, statuses={"PROCESSING"},
+                                              timeout=2000)
+            yield platform.kernel.sleep(60.0)  # accumulate checkpoints
+            urgent = yield from client.submit(manifest(
+                name="urgent", gpus_per_learner=2, target_steps=100,
+                checkpoint_interval=0.0, priority=90,
+            ))
+            urgent_doc = yield from client.wait_for_status(urgent, timeout=10_000)
+            low_doc_mid = yield from client.status(low)
+            low_doc = yield from client.wait_for_status(low, timeout=30_000)
+            return urgent_doc, low_doc_mid, low_doc
+
+        urgent_doc, low_doc_mid, low_doc = platform.run_process(
+            scenario(), limit=200_000
+        )
+        assert urgent_doc["status"] == "COMPLETED"
+        # The background job was still alive (not FAILED) while preempted...
+        assert low_doc_mid["status"] not in ("FAILED", "HALTED")
+        # ...and eventually completed too.
+        assert low_doc["status"] == "COMPLETED"
+        # Preemption actually happened.
+        assert platform.k8s.scheduler.preemptions >= 1
+        # The victim resumed from a checkpoint, not from scratch.
+        resumed = platform.tracer.query(component="learner-0",
+                                        kind="component-ready")
+        resumed_steps = [r.fields["resumed_step"] for r in resumed
+                         if r.fields.get("resumed_step", 0) > 0]
+        assert resumed_steps
+
+    def test_equal_priority_jobs_fifo(self):
+        platform = make_platform(gpu_nodes=1, gpus_per_node=2)
+        client = platform.client("team")
+
+        def scenario():
+            first = yield from client.submit(manifest(
+                name="first", gpus_per_learner=2, target_steps=120, priority=50))
+            second = yield from client.submit(manifest(
+                name="second", gpus_per_learner=2, target_steps=120, priority=50))
+            doc1 = yield from client.wait_for_status(first, timeout=30_000)
+            doc2 = yield from client.wait_for_status(second, timeout=30_000)
+            return doc1, doc2
+
+        doc1, doc2 = platform.run_process(scenario(), limit=200_000)
+        assert doc1["status"] == doc2["status"] == "COMPLETED"
+        assert platform.k8s.scheduler.preemptions == 0
+        assert doc1["completed_at"] < doc2["completed_at"]
+
+    def test_invalid_priority_rejected(self):
+        from repro.core import InvalidManifest
+
+        platform = make_platform()
+        client = platform.client("team")
+
+        def scenario():
+            yield from client.submit(manifest(priority=500))
+
+        import pytest
+
+        with pytest.raises(InvalidManifest):
+            platform.run_process(scenario(), limit=600)

@@ -1,0 +1,186 @@
+"""Unit tests for the shared filesystem and NFS server."""
+
+import pytest
+
+from repro.nfs import (
+    AlreadyExists,
+    FsError,
+    IsADirectory,
+    NfsServer,
+    NotFound,
+    SharedFilesystem,
+    VolumeNotFound,
+)
+
+
+@pytest.fixture
+def fs():
+    return SharedFilesystem()
+
+
+class TestFiles:
+    def test_write_read(self, fs):
+        fs.write_file("/job/learner-0/exit-code", "0")
+        assert fs.read_file("/job/learner-0/exit-code") == "0"
+
+    def test_write_creates_parents(self, fs):
+        fs.write_file("/a/b/c/d.txt", "x")
+        assert fs.exists("/a/b/c/d.txt")
+        assert fs.is_dir("/a/b/c")
+
+    def test_overwrite(self, fs):
+        fs.write_file("/f", "one")
+        fs.write_file("/f", "two")
+        assert fs.read_file("/f") == "two"
+
+    def test_append(self, fs):
+        fs.write_file("/log", "line1\n")
+        fs.write_file("/log", "line2\n", append=True)
+        assert fs.read_file("/log") == "line1\nline2\n"
+
+    def test_append_line(self, fs):
+        fs.append_line("/log", "a")
+        fs.append_line("/log", "b\n")
+        assert fs.read_file("/log") == "a\nb\n"
+
+    def test_read_from_offset_tail(self, fs):
+        fs.write_file("/log", "0123456789")
+        assert fs.read_from("/log", 4) == "456789"
+        assert fs.read_from("/log", 10) == ""
+
+    def test_read_missing_raises(self, fs):
+        with pytest.raises(NotFound):
+            fs.read_file("/ghost")
+
+    def test_size(self, fs):
+        fs.write_file("/f", "abcd")
+        assert fs.size("/f") == 4
+
+    def test_read_directory_raises(self, fs):
+        fs.mkdir("/d")
+        with pytest.raises(IsADirectory):
+            fs.read_file("/d")
+
+
+class TestDirectories:
+    def test_mkdir_and_list(self, fs):
+        fs.mkdir("/jobs/j1/learner-0")
+        fs.mkdir("/jobs/j1/learner-1")
+        assert fs.listdir("/jobs/j1") == ["learner-0", "learner-1"]
+
+    def test_listdir_root(self, fs):
+        fs.mkdir("/a")
+        fs.write_file("/b.txt", "")
+        assert fs.listdir("/") == ["a", "b.txt"]
+
+    def test_mkdir_no_parents_requires_parent(self, fs):
+        with pytest.raises(NotFound):
+            fs.mkdir("/x/y", parents=False)
+
+    def test_mkdir_no_parents_exclusive(self, fs):
+        fs.mkdir("/x")
+        with pytest.raises(AlreadyExists):
+            fs.mkdir("/x", parents=False)
+
+    def test_delete_file(self, fs):
+        fs.write_file("/f", "x")
+        fs.delete("/f")
+        assert not fs.exists("/f")
+
+    def test_delete_nonempty_dir_requires_recursive(self, fs):
+        fs.write_file("/d/f", "x")
+        with pytest.raises(IsADirectory):
+            fs.delete("/d")
+        fs.delete("/d", recursive=True)
+        assert not fs.exists("/d")
+
+    def test_walk(self, fs):
+        fs.write_file("/a/one.txt", "")
+        fs.write_file("/a/b/two.txt", "")
+        fs.write_file("/root.txt", "")
+        walked = list(fs.walk("/"))
+        assert walked[0] == ("/", ["a"], ["root.txt"])
+        assert ("/a", ["b"], ["one.txt"]) in walked
+        assert ("/a/b", [], ["two.txt"]) in walked
+
+
+class TestNfsServer:
+    def test_volume_lifecycle(self):
+        server = NfsServer()
+        server.create_volume("job-1")
+        assert server.volume_names() == ["job-1"]
+        server.delete_volume("job-1")
+        with pytest.raises(VolumeNotFound):
+            server.volume("job-1")
+
+    def test_duplicate_volume_rejected_unless_exist_ok(self):
+        server = NfsServer()
+        server.create_volume("v")
+        with pytest.raises(AlreadyExists):
+            server.create_volume("v")
+        assert server.create_volume("v", exist_ok=True) is server.volume("v")
+
+    def test_mounts_share_state(self):
+        server = NfsServer()
+        server.create_volume("shared")
+        learner_mount = server.mount("shared")
+        helper_mount = server.mount("shared")
+        learner_mount.write_file("/exit-code", "137")
+        assert helper_mount.read_file("/exit-code") == "137"
+
+    def test_volume_survives_unmount(self):
+        # The core dependability property: container crash loses the
+        # mount, never the data.
+        server = NfsServer()
+        server.create_volume("v")
+        mount = server.mount("v")
+        mount.write_file("/status", "PROCESSING")
+        mount.unmount()
+        with pytest.raises(FsError):
+            mount.read_file("/status")
+        fresh = server.mount("v")
+        assert fresh.read_file("/status") == "PROCESSING"
+
+    def test_server_outage_blocks_io(self):
+        server = NfsServer()
+        server.create_volume("v")
+        mount = server.mount("v")
+        mount.write_file("/f", "x")
+        server.go_down()
+        with pytest.raises(FsError):
+            mount.read_file("/f")
+        server.come_up()
+        assert mount.read_file("/f") == "x"
+
+    def test_clock_stamps_mtime(self):
+        from repro.sim import Kernel
+
+        kernel = Kernel()
+        server = NfsServer(kernel)
+        volume = server.create_volume("v")
+
+        def writer():
+            yield kernel.sleep(5.0)
+            volume.write_file("/f", "x")
+
+        kernel.spawn(writer())
+        kernel.run()
+        assert volume.mtime("/f") == 5.0
+
+
+class TestMountSurface:
+    def test_mount_proxies_full_api(self):
+        server = NfsServer()
+        server.create_volume("v")
+        mount = server.mount("v")
+        mount.mkdir("/dir")
+        assert mount.is_dir("/dir")
+        mount.write_file("/dir/f", "abc")
+        assert mount.size("/dir/f") == 3
+        assert mount.mtime("/dir/f") == 0.0
+        assert mount.listdir("/dir") == ["f"]
+        assert mount.read_from("/dir/f", 1) == "bc"
+        walked = list(mount.walk("/"))
+        assert walked[0][1] == ["dir"]
+        mount.delete("/dir", recursive=True)
+        assert not mount.exists("/dir")

@@ -1,0 +1,158 @@
+"""Unit tests for the object store."""
+
+import pytest
+
+from repro.objectstore import (
+    AccessDenied,
+    BucketExists,
+    NoSuchBucket,
+    NoSuchKey,
+    ObjectStore,
+    UploadNotFound,
+    create_multipart_upload,
+)
+from repro.sim import Kernel
+
+CREDS = {"access_key": "AK", "secret": "SK"}
+BAD_CREDS = {"access_key": "AK", "secret": "wrong"}
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(seed=0)
+
+
+@pytest.fixture
+def store(kernel):
+    store = ObjectStore(kernel, link_bandwidth=100, request_latency=0.0)
+    store.create_bucket("training-data", CREDS)
+    return store
+
+
+def run(kernel, gen):
+    return kernel.run_until_complete(kernel.spawn(gen))
+
+
+class TestBuckets:
+    def test_create_and_list(self, store):
+        assert store.bucket_names() == ["training-data"]
+
+    def test_duplicate_bucket(self, store):
+        with pytest.raises(BucketExists):
+            store.create_bucket("training-data", CREDS)
+
+    def test_missing_bucket(self, store):
+        with pytest.raises(NoSuchBucket):
+            store.head_object("ghost", "k", CREDS)
+
+    def test_delete_bucket_requires_credentials(self, store):
+        with pytest.raises(AccessDenied):
+            store.delete_bucket("training-data", BAD_CREDS)
+        store.delete_bucket("training-data", CREDS)
+        assert store.bucket_names() == []
+
+
+class TestObjects:
+    def test_put_head(self, store):
+        store.put_object("training-data", "imagenet/shard-0", CREDS, size=1000)
+        obj = store.head_object("training-data", "imagenet/shard-0", CREDS)
+        assert obj.size == 1000
+
+    def test_credentials_enforced(self, store):
+        store.put_object("training-data", "k", CREDS, size=1)
+        with pytest.raises(AccessDenied):
+            store.head_object("training-data", "k", BAD_CREDS)
+
+    def test_missing_key(self, store):
+        with pytest.raises(NoSuchKey):
+            store.head_object("training-data", "ghost", CREDS)
+
+    def test_delete(self, store):
+        store.put_object("training-data", "k", CREDS, size=1)
+        store.delete_object("training-data", "k", CREDS)
+        with pytest.raises(NoSuchKey):
+            store.head_object("training-data", "k", CREDS)
+
+    def test_list_with_prefix(self, store):
+        for key in ("ckpt/1", "ckpt/2", "logs/a"):
+            store.put_object("training-data", key, CREDS, size=1)
+        assert store.list_objects("training-data", CREDS, prefix="ckpt/") == [
+            "ckpt/1",
+            "ckpt/2",
+        ]
+
+    def test_etags_unique(self, store):
+        a = store.put_object("training-data", "a", CREDS, size=1)
+        b = store.put_object("training-data", "b", CREDS, size=1)
+        assert a.etag != b.etag
+
+
+class TestTransfers:
+    def test_download_takes_size_over_bandwidth(self, kernel, store):
+        store.put_object("training-data", "k", CREDS, size=500)
+
+        def scenario():
+            yield from store.download("training-data", "k", CREDS)
+            return kernel.now
+
+        # bandwidth 100 B/s, 500 B -> 5 s
+        assert run(kernel, scenario()) == pytest.approx(5.0)
+        assert store.bytes_downloaded == 500
+
+    def test_upload_accounts_bytes(self, kernel, store):
+        def scenario():
+            yield from store.upload("training-data", "out", CREDS, size=300)
+
+        run(kernel, scenario())
+        assert store.bytes_uploaded == 300
+        assert store.head_object("training-data", "out", CREDS).size == 300
+
+    def test_request_latency_added(self, kernel):
+        store = ObjectStore(kernel, link_bandwidth=100, request_latency=1.0)
+        store.create_bucket("b", CREDS)
+
+        def scenario():
+            yield from store.upload("b", "k", CREDS, size=100)
+            return kernel.now
+
+        assert run(kernel, scenario()) == pytest.approx(2.0)
+
+    def test_explicit_bandwidth_override(self, kernel, store):
+        store.put_object("training-data", "k", CREDS, size=1000)
+
+        def scenario():
+            yield from store.download("training-data", "k", CREDS, bandwidth=1000)
+            return kernel.now
+
+        assert run(kernel, scenario()) == pytest.approx(1.0)
+
+
+class TestMultipart:
+    def test_parts_assemble(self, kernel, store):
+        upload = create_multipart_upload(store, "training-data", "model.tar", CREDS)
+
+        def scenario():
+            yield from upload.upload_part(1, size=100)
+            yield from upload.upload_part(2, size=200)
+            return upload.complete()
+
+        obj = run(kernel, scenario())
+        assert obj.size == 300
+        assert store.head_object("training-data", "model.tar", CREDS).size == 300
+
+    def test_abort_discards(self, kernel, store):
+        upload = create_multipart_upload(store, "training-data", "model.tar", CREDS)
+
+        def scenario():
+            yield from upload.upload_part(1, size=100)
+            upload.abort()
+
+        run(kernel, scenario())
+        with pytest.raises(NoSuchKey):
+            store.head_object("training-data", "model.tar", CREDS)
+        with pytest.raises(UploadNotFound):
+            upload.complete()
+
+    def test_multipart_requires_credentials(self, store):
+        with pytest.raises(AccessDenied):
+            create_multipart_upload(store, "training-data", "k", BAD_CREDS)

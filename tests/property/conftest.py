@@ -1,0 +1,16 @@
+"""Hypothesis settings for the property suite.
+
+Simulated components do a fair amount of work per example; relax the
+wall-clock health checks and cap example counts so the suite stays fast
+and deterministic in CI.
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

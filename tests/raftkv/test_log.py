@@ -1,0 +1,96 @@
+"""Unit tests for the Raft log."""
+
+import pytest
+
+from repro.raftkv import LogEntry, RaftLog
+
+
+@pytest.fixture
+def log():
+    return RaftLog()
+
+
+class TestBasics:
+    def test_empty_log(self, log):
+        assert log.last_index == 0
+        assert log.last_term == 0
+        assert log.term_at(0) == 0
+        assert not log.has_entry(1)
+
+    def test_append_returns_index(self, log):
+        assert log.append(1, {"op": "noop"}) == 1
+        assert log.append(1, {"op": "noop"}) == 2
+        assert log.last_index == 2
+        assert log.last_term == 1
+
+    def test_term_at(self, log):
+        log.append(1, {"op": "noop"})
+        log.append(3, {"op": "noop"})
+        assert log.term_at(1) == 1
+        assert log.term_at(2) == 3
+
+    def test_term_at_out_of_range(self, log):
+        with pytest.raises(IndexError):
+            log.term_at(1)
+
+    def test_entries_from(self, log):
+        for i in range(5):
+            log.append(1, {"i": i})
+        chunk = log.entries_from(3)
+        assert [e.command["i"] for e in chunk] == [2, 3, 4]
+        assert [e.command["i"] for e in log.entries_from(3, limit=2)] == [2, 3]
+
+    def test_entries_from_invalid(self, log):
+        with pytest.raises(IndexError):
+            log.entries_from(0)
+
+
+class TestMatching:
+    def test_sentinel_always_matches(self, log):
+        assert log.matches(0, 0)
+
+    def test_match_same_term(self, log):
+        log.append(2, {"op": "noop"})
+        assert log.matches(1, 2)
+        assert not log.matches(1, 3)
+        assert not log.matches(2, 2)
+
+
+class TestSplice:
+    def test_splice_appends(self, log):
+        log.splice(0, [LogEntry(1, {"a": 1}), LogEntry(1, {"a": 2})])
+        assert log.last_index == 2
+
+    def test_splice_idempotent_on_duplicates(self, log):
+        entries = [LogEntry(1, {"a": 1}), LogEntry(1, {"a": 2})]
+        log.splice(0, entries)
+        log.splice(0, entries)
+        assert log.last_index == 2
+
+    def test_splice_truncates_conflicts(self, log):
+        log.splice(0, [LogEntry(1, {"a": 1}), LogEntry(1, {"a": 2}), LogEntry(1, {"a": 3})])
+        log.splice(1, [LogEntry(2, {"b": 1})])
+        assert log.last_index == 2
+        assert log.term_at(2) == 2
+        assert log.entry_at(2).command == {"b": 1}
+
+    def test_splice_does_not_truncate_on_stale_duplicate(self, log):
+        # A delayed AppendEntries carrying an old prefix must not roll
+        # back entries it does not know about.
+        log.splice(0, [LogEntry(1, {"a": 1}), LogEntry(1, {"a": 2})])
+        log.splice(0, [LogEntry(1, {"a": 1})])
+        assert log.last_index == 2
+
+
+class TestUpToDate:
+    def test_higher_term_wins(self, log):
+        log.append(2, {"op": "noop"})
+        assert log.is_up_to_date(other_last_index=1, other_last_term=3)
+        assert not log.is_up_to_date(other_last_index=5, other_last_term=1)
+
+    def test_same_term_longer_wins(self, log):
+        log.append(2, {"op": "noop"})
+        log.append(2, {"op": "noop"})
+        assert log.is_up_to_date(other_last_index=2, other_last_term=2)
+        assert log.is_up_to_date(other_last_index=3, other_last_term=2)
+        assert not log.is_up_to_date(other_last_index=1, other_last_term=2)

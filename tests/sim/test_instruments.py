@@ -1,0 +1,185 @@
+"""Unit tests for metrics, tracing and fault injection."""
+
+import math
+
+import pytest
+
+from repro.sim import FaultInjector, Kernel, MetricsRegistry, Tracer
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(seed=3)
+
+
+class TestMetrics:
+    def test_counter_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("requests")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_gauge_up_down(self):
+        gauge = MetricsRegistry().gauge("inflight")
+        gauge.inc()
+        gauge.inc()
+        gauge.dec()
+        assert gauge.value == 1
+        gauge.set(10)
+        assert gauge.value == 10
+
+    def test_histogram_stats(self):
+        histogram = MetricsRegistry().histogram("latency")
+        for value in (1.0, 2.0, 3.0, 4.0):
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.mean == 2.5
+        assert histogram.minimum == 1.0
+        assert histogram.maximum == 4.0
+        assert histogram.percentile(50) == 2.0
+        assert histogram.percentile(100) == 4.0
+
+    def test_empty_histogram_is_nan(self):
+        histogram = MetricsRegistry().histogram("empty")
+        assert math.isnan(histogram.mean)
+        assert math.isnan(histogram.percentile(50))
+
+    def test_percentile_bounds_checked(self):
+        histogram = MetricsRegistry().histogram("h")
+        histogram.observe(1)
+        with pytest.raises(ValueError):
+            histogram.percentile(101)
+
+    def test_same_name_same_metric(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc(2)
+        registry.histogram("b").observe(5)
+        snap = registry.snapshot()
+        assert snap["a"] == 2
+        assert snap["b"]["count"] == 1
+        assert registry.names() == ["a", "b"]
+
+
+class TestTracer:
+    def test_records_time_and_fields(self, kernel):
+        tracer = Tracer(kernel)
+
+        def proc():
+            yield kernel.sleep(3.0)
+            tracer.emit("api", "ready", pod="api-1")
+
+        kernel.spawn(proc())
+        kernel.run()
+        record = tracer.records[0]
+        assert record.time == 3.0
+        assert record.component == "api"
+        assert record.fields == {"pod": "api-1"}
+
+    def test_query_filters(self, kernel):
+        tracer = Tracer(kernel)
+        tracer.emit("api", "ready", pod="a")
+        tracer.emit("api", "crash", pod="a")
+        tracer.emit("lcm", "ready", pod="b")
+        assert len(tracer.query(component="api")) == 2
+        assert len(tracer.query(kind="ready")) == 2
+        assert len(tracer.query(component="api", kind="ready")) == 1
+        assert tracer.query(pod="b")[0].component == "lcm"
+
+    def test_query_since(self, kernel):
+        tracer = Tracer(kernel)
+        tracer.emit("x", "a")
+
+        def later():
+            yield kernel.sleep(10.0)
+            tracer.emit("x", "b")
+
+        kernel.spawn(later())
+        kernel.run()
+        assert [r.kind for r in tracer.query(since=5.0)] == ["b"]
+
+    def test_first_and_last(self, kernel):
+        tracer = Tracer(kernel)
+        assert tracer.first(kind="nope") is None
+        tracer.emit("x", "e", n=1)
+        tracer.emit("x", "e", n=2)
+        assert tracer.first(kind="e").fields["n"] == 1
+        assert tracer.last(kind="e").fields["n"] == 2
+
+    def test_intervals_with_key(self, kernel):
+        tracer = Tracer(kernel)
+
+        def proc():
+            tracer.emit("k", "start", id="a")
+            yield kernel.sleep(2.0)
+            tracer.emit("k", "start", id="b")
+            yield kernel.sleep(3.0)
+            tracer.emit("k", "end", id="a")
+            yield kernel.sleep(1.0)
+            tracer.emit("k", "end", id="b")
+
+        kernel.spawn(proc())
+        kernel.run()
+        durations = tracer.intervals("start", "end", component="k",
+                                     key=lambda r: r.fields["id"])
+        assert durations == [5.0, 4.0]
+
+
+class TestFaultInjector:
+    def test_crash_after_fires_once(self, kernel):
+        crashes = []
+        injector = FaultInjector(kernel)
+        injector.crash_after(5.0, "svc", lambda: crashes.append(kernel.now))
+        kernel.run(until=20.0)
+        assert crashes == [5.0]
+        assert injector.injected == [(5.0, "svc", "scheduled")]
+
+    def test_poisson_crashes_respect_mtbf(self, kernel):
+        crashes = []
+        injector = FaultInjector(kernel)
+        injector.poisson_crashes("svc", lambda: crashes.append(kernel.now),
+                                 mtbf=10.0, until=2000.0)
+        kernel.run(until=2000.0)
+        # ~200 expected; very loose bounds.
+        assert 100 < len(crashes) < 320
+        gaps = [b - a for a, b in zip(crashes, crashes[1:])]
+        mean_gap = sum(gaps) / len(gaps)
+        assert 7.0 < mean_gap < 14.0
+
+    def test_poisson_skips_dead_targets(self, kernel):
+        crashes = []
+        alive = {"up": True}
+        injector = FaultInjector(kernel)
+        injector.poisson_crashes("svc", lambda: crashes.append(kernel.now),
+                                 mtbf=5.0, until=100.0,
+                                 alive=lambda: alive["up"])
+        kernel.run(until=50.0)
+        seen = len(crashes)
+        alive["up"] = False
+        kernel.run(until=100.0)
+        assert len(crashes) == seen
+
+    def test_invalid_mtbf(self, kernel):
+        with pytest.raises(ValueError):
+            FaultInjector(kernel).poisson_crashes("x", lambda: None, mtbf=0)
+
+    def test_tracer_records_injections(self, kernel):
+        tracer = Tracer(kernel)
+        injector = FaultInjector(kernel, tracer=tracer)
+        injector.crash_after(1.0, "svc", lambda: None)
+        kernel.run(until=2.0)
+        assert tracer.query(component="fault-injector", kind="crash-injected")
