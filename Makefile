@@ -1,0 +1,13 @@
+.PHONY: check test lint bench
+
+check:
+	scripts/check.sh
+
+test:
+	PYTHONPATH=src python -m pytest -q
+
+lint:
+	ruff check src tests benchmarks
+
+bench:
+	PYTHONPATH=src python -m pytest -q benchmarks/bench_fig4_recovery.py benchmarks/bench_detection_latency.py

@@ -9,6 +9,25 @@ from ..sim.channels import Channel
 from .errors import ConflictError, NotFoundError
 
 
+class ResourceWatch(Channel):
+    """A watch subscription: a channel of ``(event_type, resource)``.
+
+    Behaves exactly like a :class:`Channel` (so existing drain-style
+    consumers keep working) but knows how to deregister itself —
+    watchers that die without cancelling used to leak in the API
+    server's ``_watchers`` list forever.
+    """
+
+    def __init__(self, api, kind):
+        super().__init__(api.kernel, name=f"watch:{kind}")
+        self._api = api
+        self.kind = kind
+
+    def cancel(self):
+        """Deregister and close; idempotent."""
+        self._api.unwatch(self)
+
+
 class ClusterEvent:
     """A recorded cluster event (kubectl get events)."""
 
@@ -100,15 +119,38 @@ class ApiServer:
     # ------------------------------------------------------------------
 
     def watch(self, kind):
-        """A channel receiving (event_type, resource) for ``kind``."""
-        channel = Channel(self.kernel, name=f"watch:{kind}")
+        """A :class:`ResourceWatch` receiving (event_type, resource)
+        for ``kind``; call ``cancel()`` when done watching."""
+        channel = ResourceWatch(self, kind)
         self._watchers.setdefault(kind, []).append(channel)
         return channel
 
+    def unwatch(self, channel):
+        """Deregister a watch channel and close it; idempotent."""
+        registered = self._watchers.get(getattr(channel, "kind", None), [])
+        try:
+            registered.remove(channel)
+        except ValueError:
+            pass
+        if not channel.closed:
+            channel.close()
+
+    def watcher_count(self, kind=None):
+        """Live watch registrations (observability + leak tests)."""
+        if kind is not None:
+            return len(self._watchers.get(kind, []))
+        return sum(len(channels) for channels in self._watchers.values())
+
     def _notify(self, kind, event_type, resource):
-        for channel in self._watchers.get(kind, []):
-            if not channel.closed:
-                channel.put((event_type, resource))
+        channels = self._watchers.get(kind)
+        if not channels:
+            return
+        live = [c for c in channels if not c.closed]
+        if len(live) != len(channels):
+            # Prune channels closed without cancel() (crashed watchers).
+            self._watchers[kind] = live
+        for channel in live:
+            channel.put((event_type, resource))
 
     def record_event(self, kind, name, reason, message=""):
         event = ClusterEvent(self.kernel.now, kind, name, reason, message)

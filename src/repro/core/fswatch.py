@@ -1,0 +1,39 @@
+"""Event-driven waits on the job's shared NFS volume.
+
+The paper's intra-job coordination (§III.e) is file-based: learners and
+helpers signal each other by writing files on the shared volume. These
+helpers replace the old ``sleep(poll)`` spin-waits with NFS change
+subscriptions: the waiter wakes the instant the file it cares about is
+written. There is no missed-write window — the condition check and the
+subscription happen in the same simulated instant, and nothing can
+interleave in the DES kernel.
+"""
+
+
+def wait_for_condition(ctx, mount, prefix, cond):
+    """Block until ``cond()`` holds or the container stops.
+
+    Wakes on any change under ``prefix``; returns True when the
+    condition was met, False when the container is stopping.
+    """
+    kernel = ctx.kernel
+    while not cond():
+        if ctx.stopping:
+            return False
+        wakeup = kernel.event(name=f"nfs-wait:{prefix}")
+        subscription = mount.subscribe(
+            prefix, lambda _path: None if wakeup.triggered else wakeup.succeed()
+        )
+        try:
+            yield kernel.any_of([wakeup, ctx.stop_event])
+        finally:
+            subscription.cancel()
+    return True
+
+
+def wait_for_file(ctx, mount, path):
+    """Block until ``path`` exists or the container stops."""
+    result = yield from wait_for_condition(
+        ctx, mount, path, lambda: mount.exists(path)
+    )
+    return result

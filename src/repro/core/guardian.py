@@ -28,6 +28,7 @@ from ..cluster import (
 )
 from ..docstore import MongoClient
 from ..raftkv import EtcdClient
+from ..sim import Reconciler
 from . import layout
 from .helpers import (
     HELPER_DONE,
@@ -53,6 +54,26 @@ from .states import (
 # Resource kinds recorded in the write-ahead deployment log, in the
 # order they are deployed (and reverse-torn-down).
 _DEPLOY_ORDER = ("pvc", "networkpolicy", "helper", "learners")
+
+
+def _is_transition_event(event):
+    """Does this etcd event warrant an *immediate* status aggregation?
+
+    Halt requests, helper-status flips and learner terminal/stalled
+    reports can change the aggregate job status; bare step-progress
+    reports cannot and may coalesce. Anything unrecognized counts as a
+    transition — misclassifying toward "immediate" costs one extra
+    aggregation, the other way costs detection latency.
+    """
+    if event.type != "put":
+        return True
+    key = event.key
+    if key.endswith("/halt") or "/helper/" in key:
+        return True
+    value = event.value
+    if isinstance(value, dict) and "status" in value:
+        return value["status"] in (COMPLETED, FAILED, HALTED, "STALLED")
+    return True
 
 
 def make_guardian_workload(platform, job_id):
@@ -147,12 +168,14 @@ class Guardian:
 
         Teardown only *requests* deletion; redeploying same-named
         resources before the old ones finish terminating would conflict
-        and burn a deployment attempt for no reason.
+        and burn a deployment attempt for no reason. Wakes on API-server
+        deletion events; ``guardian_rollback_resync`` is the periodic
+        fallback cadence.
         """
         job_id = self.job_id
-        deadline = self.kernel.now + 60.0
-        while self.kernel.now < deadline:
-            remaining = (
+
+        def gone():
+            return not (
                 self.k8s.exists("StatefulSet", layout.learner_set_name(job_id))
                 or self.k8s.exists("Deployment", layout.helper_deployment_name(job_id))
                 or any(
@@ -160,9 +183,31 @@ class Guardian:
                     for pod in self.k8s.list("Pod", selector={"dlaas-job": job_id})
                 )
             )
-            if not remaining:
-                return
-            yield self.kernel.sleep(0.2)
+
+        yield from self._await_cluster(
+            gone, kinds=("Pod", "StatefulSet", "Deployment"),
+            resync=self.platform.config.guardian_rollback_resync,
+        )
+
+    def _await_cluster(self, cond, kinds, resync, timeout=60.0):
+        """Wait (bounded) until ``cond()`` holds, waking on API-server
+        watch events for ``kinds``; ``resync`` is the level-triggered
+        fallback. Returns ``cond()`` at exit."""
+        watches = [self.k8s.watch(kind) for kind in kinds]
+        deadline = self.kernel.now + timeout
+        try:
+            while not cond() and self.kernel.now < deadline:
+                gets = [watch.get() for watch in watches]
+                timer = self.kernel.sleep(min(resync, deadline - self.kernel.now))
+                yield self.kernel.any_of(gets + [timer])
+                for watch, get in zip(watches, gets):
+                    if not get.triggered:
+                        # Abandoned getters would swallow the next event.
+                        watch.cancel_get(get)
+        finally:
+            for watch in watches:
+                watch.cancel()
+        return cond()
 
     def _deploy(self):
         """The multi-step deployment, write-ahead logged to ETCD.
@@ -272,35 +317,77 @@ class Guardian:
     # ------------------------------------------------------------------
 
     def _monitor(self):
-        interval = self.platform.config.monitor_interval
-        while True:
-            if self.ctx.stopping:
-                return 143
-            halted = yield from self.etcd.get(layout.halt_key(self.job_id))
-            statuses = yield from self.etcd.get_range(
-                layout.learner_status_prefix(self.job_id)
-            )
-            store_done = (yield from self.etcd.get(
-                layout.helper_status_key(self.job_id, "store-results")
-            )) == HELPER_DONE
-            load_done = (yield from self.etcd.get(
-                layout.helper_status_key(self.job_id, "load-data")
-            )) == HELPER_DONE
+        """Watch-driven monitoring: the etcd watch on the job's prefix
+        feeds a single-key reconciler that re-aggregates the *full*
+        current status state on every wake. ``monitor_interval``
+        survives only as the periodic resync — the level-triggering
+        safety net that re-observes anything a lost watch missed and
+        that drives stall detection (a hung learner emits no events, so
+        stalls are only visible from the resync clock)."""
+        config = self.platform.config
+        done = self.kernel.event(name=f"job-terminal:{self.job_id}")
+        prefix = layout.job_prefix(self.job_id)
 
-            reports = [value for _key, value in statuses]
-            if reports:
-                self._last_reports = reports
-            self._restart_stalled_learners(statuses)
-            job_status = self._aggregate(reports, load_done, store_done)
-            if halted:
-                job_status = HALTED
+        def keys_of(event):
+            if _is_transition_event(event):
+                return ["status"]
+            # Progress-only updates coalesce: a burst of step reports
+            # costs one aggregation per coalescing window, keeping the
+            # Mongo traffic at the old poll-loop level.
+            return [("status", config.guardian_event_coalesce)]
 
-            yield from self._set_status(job_status)
+        reconciler = Reconciler(
+            self.kernel, f"guardian:{self.job_id}",
+            lambda _key: self._reconcile_status(done),
+            resync_interval=config.monitor_interval,
+            rewatch_delay=config.watch_retry_delay,
+            tracer=self.platform.tracer,
+        )
+        reconciler.queue.backoff_base = config.reconciler_backoff_base
+        reconciler.queue.backoff_max = config.reconciler_backoff_max
+        reconciler.add_static_key("status")
+        # The watch closes if its serving etcd node crashes; the
+        # reconciler re-registers on a surviving node and relists (the
+        # static key re-fires every resync), so nothing is lost.
+        reconciler.watch_channel("etcd",
+                                 subscribe=lambda: self.etcd.watch(prefix),
+                                 keys_of=keys_of)
+        reconciler.start()
+        try:
+            yield self.kernel.any_of([done, self.ctx.stop_event])
+        finally:
+            reconciler.stop()
+        if not done.triggered:
+            return 143
+        yield from self._finish(done.value)
+        return 0
 
-            if is_terminal(job_status):
-                yield from self._finish(job_status)
-                return 0
-            yield self.kernel.sleep(interval)
+    def _reconcile_status(self, done):
+        """One level-triggered pass: read everything, aggregate, record."""
+        if done.triggered:
+            return
+        halted = yield from self.etcd.get(layout.halt_key(self.job_id))
+        statuses = yield from self.etcd.get_range(
+            layout.learner_status_prefix(self.job_id)
+        )
+        store_done = (yield from self.etcd.get(
+            layout.helper_status_key(self.job_id, "store-results")
+        )) == HELPER_DONE
+        load_done = (yield from self.etcd.get(
+            layout.helper_status_key(self.job_id, "load-data")
+        )) == HELPER_DONE
+
+        reports = [value for _key, value in statuses]
+        if reports:
+            self._last_reports = reports
+        self._restart_stalled_learners(statuses)
+        job_status = self._aggregate(reports, load_done, store_done)
+        if halted:
+            job_status = HALTED
+
+        yield from self._set_status(job_status)
+        if is_terminal(job_status) and not done.triggered:
+            done.succeed(job_status)
 
     def _restart_stalled_learners(self, statuses):
         """Hang detection (extension): restart learners the controller
@@ -346,18 +433,21 @@ class Guardian:
     def _finish(self, final_status):
         self.ctx.log(f"job {self.job_id} reached {final_status}; tearing down")
         yield from self._teardown()
+
         # Wait for the job's pods to actually terminate before cleaning
         # ETCD: a still-running controller would otherwise re-publish
-        # statuses into keys we just deleted.
-        deadline = self.kernel.now + 60.0
-        while self.kernel.now < deadline:
-            remaining = [
+        # statuses into keys we just deleted. Wakes on Pod deletion
+        # events, with ``guardian_teardown_resync`` as the fallback.
+        def pods_gone():
+            return not [
                 pod for pod in self.k8s.list("Pod", selector={"dlaas-job": self.job_id})
                 if pod.metadata.labels.get("role") != "guardian"
             ]
-            if not remaining:
-                break
-            yield self.kernel.sleep(0.5)
+
+        yield from self._await_cluster(
+            pods_gone, kinds=("Pod",),
+            resync=self.platform.config.guardian_teardown_resync,
+        )
         yield from self._cleanup_etcd()
         yield from self.mongo.update_one(
             "jobs", {"job_id": self.job_id},

@@ -17,8 +17,11 @@ NFS (and ETCD), which is what makes controller crashes harmless.
 
 import json
 
+from ..nfs.errors import FsError
 from ..raftkv import EtcdClient
+from ..sim import Reconciler, WatchSource
 from . import layout
+from .fswatch import wait_for_file
 from .learner import read_learner_status
 from .states import COMPLETED, FAILED, HALTED
 
@@ -31,6 +34,8 @@ def _idle_until_stopped(ctx):
     """Sidecar idiom: stay alive so restart policy Always is a no-op."""
     yield ctx.stop_event
     return 0
+
+
 
 
 # ---------------------------------------------------------------------------
@@ -69,6 +74,14 @@ def make_load_data_workload(platform, job_id, manifest):
 
 
 def make_controller_workload(platform, job_id, manifest):
+    """Event-driven controller: NFS change notifications feed a work
+    queue; each reconcile re-reads the file state for one key (learner
+    ordinal or helper name) and publishes it to ETCD. The old
+    ``controller_poll`` cadence survives only as the periodic resync —
+    the level-triggering safety net that also drives hang detection
+    (a stalled learner produces *no* events, so stalls are only
+    observable from the resync clock)."""
+
     def workload(ctx):
         kernel = ctx.kernel
         mount = ctx.mounts["job"]
@@ -84,14 +97,26 @@ def make_controller_workload(platform, job_id, manifest):
         # detection by one timeout.
         freshness = {}
         stall_timeout = platform.config.stall_timeout
+        poll = platform.config.controller_poll
+        learner_keys = [f"learner-{i}" for i in range(manifest.learners)]
+        all_keys = learner_keys + ["load-data", "store-results", "store-trigger"]
 
-        while not ctx.stopping:
-            # Learner statuses: NFS -> ETCD. State is recomputed from
-            # NFS every pass, so a restarted controller loses nothing.
-            for ordinal in range(manifest.learners):
+        def reconcile(key):
+            if key == "store-trigger":
+                # Trigger store-results once every learner completed.
+                if not mount.exists(layout.CONTROL_STORE_TRIGGER):
+                    exits = [_exit_code(mount, i) for i in range(manifest.learners)]
+                    if all(code == 0 for code in exits):
+                        mount.write_file(layout.CONTROL_STORE_TRIGGER, "go")
+                return
+            if key.startswith("learner-"):
+                # Learner statuses: NFS -> ETCD. State is recomputed from
+                # NFS on every pass, so a restarted controller (or a
+                # duplicate event) loses and corrupts nothing.
+                ordinal = int(key.rsplit("-", 1)[1])
                 report = _learner_report(mount, ordinal, kernel.now)
                 if report is None:
-                    continue
+                    return
                 report = _apply_stall_detection(
                     report, ordinal, freshness, kernel.now, stall_timeout
                 )
@@ -100,27 +125,98 @@ def make_controller_workload(platform, job_id, manifest):
                         layout.learner_status_key(job_id, ordinal), report
                     )
                     last_reported[ordinal] = report
-
+                return
             # Helper statuses.
-            for helper in ("load-data", "store-results"):
-                path = f"/helper/{helper}.status"
-                if mount.exists(path):
-                    value = mount.read_file(path)
-                    if last_reported.get(helper) != value:
-                        yield from etcd.put(
-                            layout.helper_status_key(job_id, helper), value
-                        )
-                        last_reported[helper] = value
+            path = f"/helper/{key}.status"
+            if mount.exists(path):
+                value = mount.read_file(path)
+                if last_reported.get(key) != value:
+                    yield from etcd.put(
+                        layout.helper_status_key(job_id, key), value
+                    )
+                    last_reported[key] = value
 
-            # Trigger store-results once every learner completed.
-            if not mount.exists(layout.CONTROL_STORE_TRIGGER):
-                exits = [_exit_code(mount, i) for i in range(manifest.learners)]
-                if all(code == 0 for code in exits):
-                    mount.write_file(layout.CONTROL_STORE_TRIGGER, "go")
-            yield kernel.sleep(platform.config.controller_poll)
+        reconciler = Reconciler(
+            kernel, f"controller:{job_id}", reconcile,
+            resync_interval=poll,
+            rewatch_delay=platform.config.watch_retry_delay,
+            tracer=platform.tracer,
+        )
+        reconciler.queue.backoff_base = platform.config.reconciler_backoff_base
+        reconciler.queue.backoff_max = platform.config.reconciler_backoff_max
+        for key in all_keys:
+            reconciler.add_static_key(key)
+        reconciler.add_source(_nfs_source(mount, manifest, poll))
+        reconciler.start()
+        try:
+            yield ctx.stop_event
+        finally:
+            reconciler.stop()
         return 0
 
     return workload
+
+
+def _nfs_source(mount, manifest, poll):
+    """NFS change notifications -> controller work keys.
+
+    Exit-code and helper-status writes are transitions (§III.e failure
+    detection) and dispatch immediately; learner status-file writes are
+    progress and coalesce for up to one poll interval, so a fast
+    learner costs the same ETCD traffic as under the old poll loop.
+    """
+
+    def classify(path):
+        if path.startswith("/helper/"):
+            name = path.rsplit("/", 1)[1].removesuffix(".status")
+            return [name] if name in ("load-data", "store-results") else []
+        if path.startswith("/learners/learner-"):
+            ordinal = path.split("/")[2].rsplit("-", 1)[1]
+            key = f"learner-{ordinal}"
+            if path.endswith("/exit-code"):
+                return [key, "store-trigger"]
+            return [(key, poll)]
+        return []
+
+    return _MountNotifySource(mount, classify)
+
+
+class _MountNotifySource(WatchSource):
+    """Callback-based watch source over an NFS mount.
+
+    The filesystem invokes the callback synchronously on writes; the
+    source enqueues directly into the reconciler's queue (bound at
+    subscribe time), so there is no channel and nothing to pump.
+    """
+
+    def __init__(self, mount, classify):
+        super().__init__("nfs")
+        self._mount = mount
+        self._classify = classify
+        self._queue = None
+        self._subscription = None
+
+    def bind(self, queue):
+        self._queue = queue
+
+    def subscribe(self):
+        if self._subscription is None or not self._subscription.active:
+            self._subscription = self._mount.subscribe("/", self._on_change)
+        return None  # no channel: delivery is callback-driven
+
+    def _on_change(self, path):
+        if self._queue is None:
+            return
+        for key in self._classify(path):
+            if isinstance(key, tuple):
+                self._queue.add_after(*key)
+            else:
+                self._queue.add(key)
+
+    def unsubscribe(self):
+        subscription, self._subscription = self._subscription, None
+        if subscription is not None:
+            subscription.cancel()
 
 
 def _apply_stall_detection(report, ordinal, freshness, now, stall_timeout):
@@ -201,7 +297,8 @@ def make_log_collector_workload(platform, job_id, manifest):
         mount = ctx.mounts["job"]
         offsets = {}
         collected = platform.metrics.counter(f"logs.{job_id}.lines")
-        while not ctx.stopping:
+
+        def collect():
             for ordinal in range(manifest.learners):
                 path = layout.learner_log_file(ordinal)
                 if not mount.exists(path):
@@ -213,7 +310,33 @@ def make_log_collector_workload(platform, job_id, manifest):
                         mount.append_line(layout.COMBINED_LOG,
                                           f"learner-{ordinal}| {line}")
                         collected.inc()
-            yield kernel.sleep(platform.config.log_collect_interval)
+
+        def on_log_write(path):
+            # Synchronous tail-on-write: the combined log is current the
+            # instant a learner writes, so store-results (triggered the
+            # moment the last exit code lands) archives a complete log.
+            if path.endswith("/training.log"):
+                try:
+                    collect()
+                except FsError:
+                    pass
+
+        subscription = mount.subscribe("/learners/", on_log_write)
+        try:
+            # The interval loop survives as the level-triggered resync
+            # behind the change subscription (e.g. a collector restarted
+            # mid-job re-reads everything from its rebuilt offsets).
+            while not ctx.stopping:
+                collect()
+                yield kernel.sleep(platform.config.log_collect_interval)
+        finally:
+            subscription.cancel()
+            # Teardown can land mid-interval: flush the tail so the
+            # learners' last lines survive into the combined log.
+            try:
+                collect()
+            except FsError:
+                pass  # NFS outage at teardown; nothing left to flush
         return 0
 
     return workload
@@ -232,10 +355,9 @@ def make_store_results_workload(platform, job_id, manifest):
             yield from _idle_until_stopped(ctx)
             return 0
         # Wait for the controller's trigger.
-        while not mount.exists(layout.CONTROL_STORE_TRIGGER):
-            if ctx.stopping:
-                return 0
-            yield kernel.sleep(platform.config.controller_poll)
+        triggered = yield from wait_for_file(ctx, mount, layout.CONTROL_STORE_TRIGGER)
+        if not triggered:
+            return 0
         mount.write_file("/helper/store-results.status", HELPER_RUNNING)
         log_text = ""
         if mount.exists(layout.COMBINED_LOG):

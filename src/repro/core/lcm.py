@@ -15,6 +15,7 @@ from ..cluster import ContainerSpec, Job, PodSpec, PodTemplate, RESTART_NEVER
 from ..docstore import MongoClient
 from ..grpcnet import Server
 from ..raftkv import EtcdClient
+from ..sim import Reconciler, WatchSource
 from . import layout
 from .guardian import make_guardian_workload
 from .states import HALTED, QUEUED, is_terminal
@@ -103,35 +104,81 @@ class LcmService:
         return True
 
     # ------------------------------------------------------------------
-    # Loops (run as processes inside the LCM pod workload)
+    # Reconcilers (started/stopped by the LCM pod workload)
     # ------------------------------------------------------------------
 
-    def reconcile_loop(self, stop_event):
-        """Deploy QUEUED jobs; the safety net behind lost notifies."""
-        while not stop_event.triggered:
-            try:
-                docs = yield from self.mongo.find("jobs", {"status": QUEUED})
-            except Exception:
-                docs = []
-            for doc in docs:
-                if stop_event.triggered:
-                    break
-                yield from self.deploy_job(doc["job_id"])
-            yield self.kernel.sleep(self.platform.config.lcm_reconcile_interval)
+    def _tune_queue(self, reconciler):
+        reconciler.queue.backoff_base = self.platform.config.reconciler_backoff_base
+        reconciler.queue.backoff_max = self.platform.config.reconciler_backoff_max
+        return reconciler
 
-    def gc_loop(self, stop_event):
-        """Garbage-collect Guardian K8S Jobs of terminal DL jobs."""
-        while not stop_event.triggered:
-            for job in list(self.platform.k8s.api.list("Job")):
-                dlaas_job = job.metadata.labels.get("dlaas-job")
-                if dlaas_job is None or not job.complete:
-                    continue
-                doc = yield from self.mongo.find_one("jobs", {"job_id": dlaas_job})
-                if doc is not None and is_terminal(doc["status"]):
-                    if job.active_pod and self.platform.k8s.api.exists("Pod", job.active_pod):
-                        pod = self.platform.k8s.api.get("Pod", job.active_pod)
-                        pod.deletion_requested = True
-                        self.platform.k8s.api.update(pod)
-                    self.platform.k8s.api.delete("Job", job.metadata.name,
-                                                 job.metadata.namespace)
-            yield self.kernel.sleep(self.platform.config.lcm_gc_interval)
+    def make_deploy_reconciler(self):
+        """Deploy QUEUED jobs; the safety net behind lost notifies.
+
+        MongoDB has no change stream in the simulation, so the API's
+        notify RPC is the event path and this reconciler is resync-only:
+        each start/resync relists QUEUED job ids from MongoDB and pushes
+        them through the coalescing queue (a job id queued by relist and
+        notify at once deploys exactly once; ``deploy_job`` is further
+        guarded by the QUEUED->DEPLOYING status claim)."""
+
+        def list_queued():
+            docs = yield from self.mongo.find("jobs", {"status": QUEUED})
+            return [doc["job_id"] for doc in docs]
+
+        reconciler = Reconciler(
+            self.kernel, f"deploy:{self.address}",
+            self.deploy_job,
+            resync_interval=self.platform.config.lcm_reconcile_interval,
+            rewatch_delay=self.platform.config.watch_retry_delay,
+            tracer=self.platform.tracer,
+        )
+        reconciler.add_source(WatchSource("mongo-queued", list_keys=list_queued))
+        return self._tune_queue(reconciler)
+
+    def make_gc_reconciler(self):
+        """Garbage-collect Guardian K8S Jobs of terminal DL jobs.
+
+        Watch-driven: a Guardian K8S Job completing is a MODIFIED event
+        on the API server, so collection is immediate instead of up to
+        ``lcm_gc_interval`` late; the interval survives as the relist
+        resync covering events lost across an LCM restart."""
+        api = self.platform.k8s.api
+
+        def job_names():
+            return [job.metadata.name for job in api.list("Job")
+                    if job.metadata.labels.get("dlaas-job")]
+
+        def keys_of(event):
+            _etype, resource = event
+            if resource.metadata.labels.get("dlaas-job") is None:
+                return ()
+            return (resource.metadata.name,)
+
+        reconciler = Reconciler(
+            self.kernel, f"gc:{self.address}",
+            self._gc_job,
+            resync_interval=self.platform.config.lcm_gc_interval,
+            rewatch_delay=self.platform.config.watch_retry_delay,
+            tracer=self.platform.tracer,
+        )
+        reconciler.watch_channel("k8s-jobs", subscribe=lambda: api.watch("Job"),
+                                 keys_of=keys_of, list_keys=job_names)
+        return self._tune_queue(reconciler)
+
+    def _gc_job(self, name):
+        api = self.platform.k8s.api
+        job = api.get_or_none("Job", name)
+        if job is None or not job.complete:
+            return  # not collectable (yet); a later event/resync re-checks
+        dlaas_job = job.metadata.labels.get("dlaas-job")
+        if dlaas_job is None:
+            return
+        doc = yield from self.mongo.find_one("jobs", {"job_id": dlaas_job})
+        if doc is None or not is_terminal(doc["status"]):
+            return
+        if job.active_pod and api.exists("Pod", job.active_pod):
+            pod = api.get("Pod", job.active_pod)
+            pod.deletion_requested = True
+            api.update(pod)
+        api.delete("Job", job.metadata.name, job.metadata.namespace)

@@ -31,6 +31,7 @@ from ..frameworks import (
     synthetic_loss,
 )
 from . import layout
+from .fswatch import wait_for_condition, wait_for_file
 from .states import COMPLETED, FAILED, HALTED, PROCESSING
 
 WAITING_DATA = "WAITING_DATA"
@@ -87,12 +88,12 @@ def make_learner_workload(platform, job_id, manifest):
         log(f"learner-{ordinal} starting for {job_id}")
         write_learner_status(mount, ordinal, WAITING_DATA, 0, kernel.now)
 
-        # Wait for the load-data helper to stage the training data.
-        while not mount.exists(layout.DATA_READY):
-            if ctx.stopping:
-                mount.write_file(layout.learner_exit_file(ordinal), "143")
-                return 143
-            yield kernel.sleep(0.25)
+        # Wait for the load-data helper to stage the training data,
+        # waking on the NFS change notification rather than polling.
+        ready = yield from wait_for_file(ctx, mount, layout.DATA_READY)
+        if not ready:
+            mount.write_file(layout.learner_exit_file(ordinal), "143")
+            return 143
 
         # MPI wire-up barrier (paper §II: deployment involves "setting
         # up network (MPI) interconnections"): synchronous distributed
@@ -102,17 +103,18 @@ def make_learner_workload(platform, job_id, manifest):
         if manifest.learners > 1:
             mount.write_file(f"{layout.learner_dir(ordinal)}/joined", "1")
             log(f"waiting at MPI barrier for {manifest.learners} learners")
-            while True:
-                joined = sum(
-                    1 for peer in range(manifest.learners)
-                    if mount.exists(f"{layout.learner_dir(peer)}/joined")
+
+            def all_joined():
+                return all(
+                    mount.exists(f"{layout.learner_dir(peer)}/joined")
+                    for peer in range(manifest.learners)
                 )
-                if joined >= manifest.learners:
-                    break
-                if ctx.stopping:
-                    mount.write_file(layout.learner_exit_file(ordinal), "143")
-                    return 143
-                yield kernel.sleep(0.25)
+
+            joined = yield from wait_for_condition(ctx, mount, "/learners/",
+                                                   all_joined)
+            if not joined:
+                mount.write_file(layout.learner_exit_file(ordinal), "143")
+                return 143
 
         # Bind to the cloud object store (credentials + connector
         # startup) — part of why learners take longest to recover.

@@ -52,14 +52,29 @@ class PlatformConfig:
     api_service_time: float = 0.002
     api_rate_limit: float = 50.0
     api_rate_burst: float = 200.0
-    lcm_reconcile_interval: float = 1.0
-    lcm_gc_interval: float = 5.0
+    lcm_reconcile_interval: float = 1.0  # deploy-queue resync (Mongo relist)
+    lcm_gc_interval: float = 5.0  # GC resync (API-server relist)
     guardian_step_time: float = 0.15
     guardian_backoff_limit: int = 8
     max_deploy_attempts: int = 3
     gang_scheduling: bool = True
-    monitor_interval: float = 1.0
-    controller_poll: float = 0.5
+    monitor_interval: float = 1.0  # Guardian status resync (watch-driven between ticks)
+    controller_poll: float = 0.5  # controller NFS resync + progress coalescing window
+
+    # Reconciler runtime (event-driven control plane). Watches broken by
+    # a crashed server are re-established after ``watch_retry_delay``
+    # with a full relist; failed reconciles requeue with exponential
+    # backoff between the two bounds. The ``guardian_*_resync`` knobs
+    # are the level-triggered fallback cadences of the Guardian's
+    # rollback/teardown waits (formerly hardcoded sleeps), and
+    # ``guardian_event_coalesce`` batches progress-only etcd events so a
+    # chatty learner does not cost one Mongo round-trip per step.
+    watch_retry_delay: float = 0.2
+    reconciler_backoff_base: float = 0.1
+    reconciler_backoff_max: float = 5.0
+    guardian_event_coalesce: float = 0.25
+    guardian_rollback_resync: float = 0.2
+    guardian_teardown_resync: float = 0.5
     # Hang detection (extension): a PROCESSING learner whose status file
     # has not changed for this long is reported STALLED and restarted by
     # the Guardian. 0 disables.

@@ -39,27 +39,26 @@ def make_lcm_workload(platform):
         address = f"lcm:{ctx.pod.metadata.name}"
         yield kernel.sleep(platform.config.lcm_init_time)
         service = LcmService(platform, address)
-        stop = kernel.event()
-        reconciler = collector = None
+        deploy = gc = None
         try:
             service.server.start()
             platform.lcm_balancer.add(address)
-            reconciler = kernel.spawn(service.reconcile_loop(stop),
-                                      name=f"{address}:reconcile")
-            collector = kernel.spawn(service.gc_loop(stop), name=f"{address}:gc")
+            deploy = service.make_deploy_reconciler().start()
+            gc = service.make_gc_reconciler().start()
             platform.tracer.emit("lcm", "component-ready", pod=ctx.pod.metadata.name)
             yield ctx.stop_event
         except ProcessKilled:
             raise
         finally:
+            # Pod gone (gracefully or crashed): stop the reconcilers,
+            # which also cancels their API-server watch registrations —
+            # a crashed LCM must not leak watch channels.
             platform.lcm_balancer.remove(address)
             service.server.stop()
-            if not stop.triggered:
-                stop.succeed()
-            if reconciler is not None:
-                reconciler.kill("lcm pod stopped")
-            if collector is not None:
-                collector.kill("lcm pod stopped")
+            if deploy is not None:
+                deploy.stop()
+            if gc is not None:
+                gc.stop()
         return 0
 
     return workload

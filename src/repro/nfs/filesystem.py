@@ -10,6 +10,26 @@ paper's failure-detection design depends on.
 from .errors import AlreadyExists, IsADirectory, NotADirectory, NotFound
 
 
+class ChangeSubscription:
+    """An inotify-style registration: ``callback(path)`` on change.
+
+    Registered against the *volume*, so it survives container crashes
+    on other mounts; holders cancel it when their own container stops
+    (the helper controller re-registers after a restart, mirroring how
+    it rebuilds all other state from NFS).
+    """
+
+    def __init__(self, filesystem, prefix, callback):
+        self._filesystem = filesystem
+        self.prefix = prefix
+        self.callback = callback
+        self.active = True
+
+    def cancel(self):
+        self.active = False
+        self._filesystem._subscriptions.discard(self)
+
+
 class _File:
     __slots__ = ("content", "mtime")
 
@@ -40,6 +60,23 @@ class SharedFilesystem:
         self.name = name
         self._clock = clock or (lambda: 0.0)
         self._root = _Directory(self._clock())
+        self._subscriptions = set()
+
+    # ------------------------------------------------------------------
+    # Change notification (inotify analogue)
+    # ------------------------------------------------------------------
+
+    def subscribe(self, prefix, callback):
+        """Invoke ``callback(path)`` whenever a file under ``prefix``
+        is written or deleted; returns a cancellable subscription."""
+        subscription = ChangeSubscription(self, prefix, callback)
+        self._subscriptions.add(subscription)
+        return subscription
+
+    def _notify_change(self, path):
+        for subscription in list(self._subscriptions):
+            if subscription.active and path.startswith(subscription.prefix):
+                subscription.callback(path)
 
     # ------------------------------------------------------------------
     # Traversal
@@ -113,6 +150,7 @@ class SharedFilesystem:
         else:
             node.content = content
         node.mtime = self._clock()
+        self._notify_change(path)
 
     def append_line(self, path, line):
         self.write_file(path, line.rstrip("\n") + "\n", append=True)
@@ -150,6 +188,7 @@ class SharedFilesystem:
         if isinstance(node, _Directory) and node.entries and not recursive:
             raise IsADirectory(f"directory not empty: {path}")
         del parent.entries[name]
+        self._notify_change(path)
 
     def walk(self, path="/"):
         """Yield (dirpath, dirnames, filenames), like ``os.walk``."""

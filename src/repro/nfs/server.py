@@ -18,6 +18,7 @@ class Mount:
         self.volume_name = volume_name
         self._filesystem = filesystem
         self.active = True
+        self._subscriptions = []
 
     def _fs(self):
         if not self.active:
@@ -28,6 +29,15 @@ class Mount:
 
     def unmount(self):
         self.active = False
+        subscriptions, self._subscriptions = self._subscriptions, []
+        for subscription in subscriptions:
+            subscription.cancel()
+
+    def subscribe(self, prefix, callback):
+        """Change notifications under ``prefix``; cancelled on unmount."""
+        subscription = self._fs().subscribe(prefix, callback)
+        self._subscriptions.append(subscription)
+        return subscription
 
     # Delegate the filesystem API through the liveness checks.
 

@@ -18,6 +18,10 @@ class Watch:
         self.prefix = prefix
         self.channel = channel
 
+    @property
+    def closed(self):
+        return self.channel.closed
+
     def cancel(self):
         self._hub.remove(self)
 
@@ -42,10 +46,22 @@ class WatchHub:
         if not watch.channel.closed:
             watch.channel.close()
 
+    def __len__(self):
+        return len(self._watches)
+
     def dispatch(self, event):
+        stale = None
         for watch in list(self._watches):
+            if watch.channel.closed:
+                # Watcher died without cancelling; drop the registration
+                # so dead streams don't accumulate across job lifetimes.
+                stale = stale or []
+                stale.append(watch)
+                continue
             if event.key.startswith(watch.prefix):
                 watch.channel.put(event)
+        for watch in stale or ():
+            self.remove(watch)
 
     def close_all(self):
         """Node crash: drop every watch stream."""

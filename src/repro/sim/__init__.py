@@ -13,6 +13,7 @@ from .faults import FaultInjector
 from .kernel import Kernel
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .process import Process
+from .reconciler import Reconciler, WatchSource, WorkQueue
 from .tracing import TraceRecord, Tracer
 
 __all__ = [
@@ -30,8 +31,11 @@ __all__ = [
     "MetricsRegistry",
     "Process",
     "ProcessKilled",
+    "Reconciler",
     "SimError",
     "SimTimeout",
     "TraceRecord",
     "Tracer",
+    "WatchSource",
+    "WorkQueue",
 ]

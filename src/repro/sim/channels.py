@@ -50,8 +50,27 @@ class Channel:
             return self._items.popleft()
         return default
 
+    def cancel_get(self, event):
+        """Withdraw a pending :meth:`get` event that was never consumed.
+
+        Needed by select-style waiters (``any_of`` over several
+        channels plus a timer): an abandoned getter would silently
+        swallow the next ``put``, losing the item for every live
+        waiter. Ignores events that already triggered or were never
+        registered.
+        """
+        try:
+            self._getters.remove(event)
+        except ValueError:
+            pass
+
     def close(self):
-        """Close the channel; pending getters fail with ChannelClosed."""
+        """Close the channel; pending getters fail with ChannelClosed.
+
+        Items already buffered stay retrievable (``get``/``get_nowait``
+        drain them after close) — watch teardown never drops delivered
+        events, only future ones.
+        """
         if self.closed:
             return
         self.closed = True

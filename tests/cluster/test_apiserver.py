@@ -109,6 +109,33 @@ class TestWatches:
         api.create(make_pod("p"))
         assert len(channel) == 0
 
+    def test_cancel_deregisters_and_closes(self, api):
+        channel = api.watch("Pod")
+        assert api.watcher_count("Pod") == 1
+        channel.cancel()
+        assert api.watcher_count("Pod") == 0
+        assert channel.closed
+        channel.cancel()  # idempotent
+        api.create(make_pod("p"))  # no delivery to a cancelled watch
+        assert len(channel) == 0
+
+    def test_closed_watches_pruned_on_notify(self, api):
+        # A watcher that died without cancelling (container crash) must
+        # not leak its registration forever.
+        kept = api.watch("Pod")
+        leaked = api.watch("Pod")
+        leaked.close()
+        assert api.watcher_count("Pod") == 2
+        api.create(make_pod("p"))
+        assert api.watcher_count("Pod") == 1
+        assert len(kept) == 1
+
+    def test_unwatch_tolerates_foreign_channel(self, api):
+        other = ApiServer(api.kernel)
+        channel = other.watch("Pod")
+        api.unwatch(channel)  # never registered here: no-op, but closed
+        assert channel.closed
+
 
 class TestEvents:
     def test_record_and_filter(self, api):

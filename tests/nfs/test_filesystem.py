@@ -184,3 +184,49 @@ class TestMountSurface:
         assert walked[0][1] == ["dir"]
         mount.delete("/dir", recursive=True)
         assert not mount.exists("/dir")
+
+
+class TestChangeSubscriptions:
+    def test_callback_fires_on_write_and_delete(self, fs):
+        seen = []
+        fs.subscribe("/learners/", seen.append)
+        fs.write_file("/learners/learner-0/status", "x")
+        fs.write_file("/helper/load-data.status", "y")  # outside prefix
+        fs.delete("/learners/learner-0/status")
+        assert seen == ["/learners/learner-0/status",
+                        "/learners/learner-0/status"]
+
+    def test_cancel_stops_delivery(self, fs):
+        seen = []
+        subscription = fs.subscribe("/", seen.append)
+        fs.write_file("/a", "1")
+        subscription.cancel()
+        fs.write_file("/b", "2")
+        assert seen == ["/a"]
+        assert not subscription.active
+
+    def test_unmount_cancels_mount_subscriptions(self):
+        server = NfsServer()
+        server.create_volume("vol")
+        mount = server.mount("vol")
+        seen = []
+        mount.subscribe("/", seen.append)
+        other = server.mount("vol")
+        other.write_file("/a", "1")
+        mount.unmount()
+        other.write_file("/b", "2")
+        assert seen == ["/a"]
+
+    def test_subscription_survives_other_mounts_death(self):
+        # Registered on the volume: a crashed *other* container's mount
+        # going away must not affect this subscriber.
+        server = NfsServer()
+        server.create_volume("vol")
+        subscriber = server.mount("vol")
+        writer = server.mount("vol")
+        seen = []
+        subscriber.subscribe("/", seen.append)
+        writer.unmount()
+        fresh = server.mount("vol")
+        fresh.write_file("/a", "1")
+        assert seen == ["/a"]

@@ -1,0 +1,241 @@
+"""Unit tests for the reconciler runtime (work queue, watch pumps)."""
+
+import pytest
+
+from repro.sim import (
+    Channel,
+    ChannelClosed,
+    Kernel,
+    Reconciler,
+    WatchSource,
+    WorkQueue,
+)
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(seed=1)
+
+
+def drain(kernel, queue, count):
+    """Run a process collecting ``count`` keys (with their times)."""
+    got = []
+
+    def getter():
+        while len(got) < count:
+            key = yield queue.get()
+            got.append((kernel.now, key))
+
+    kernel.spawn(getter())
+    return got
+
+
+class TestWorkQueueCoalescing:
+    def test_duplicate_adds_coalesce(self, kernel):
+        queue = WorkQueue(kernel)
+        queue.add("a")
+        queue.add("a")
+        queue.add("b")
+        assert len(queue) == 2
+        assert queue.adds == 3
+        assert queue.coalesced == 1
+
+    def test_fifo_dispatch(self, kernel):
+        queue = WorkQueue(kernel)
+        for key in ("a", "b", "c"):
+            queue.add(key)
+        got = drain(kernel, queue, 3)
+        kernel.run(until=1.0)
+        assert [key for _t, key in got] == ["a", "b", "c"]
+
+    def test_key_can_be_readded_after_dispatch(self, kernel):
+        queue = WorkQueue(kernel)
+        got = drain(kernel, queue, 2)
+        queue.add("a")
+        kernel.run(until=0.1)
+        queue.add("a")  # no longer queued: must not coalesce away
+        kernel.run(until=0.2)
+        assert [key for _t, key in got] == ["a", "a"]
+
+    def test_waiting_getter_receives_directly(self, kernel):
+        queue = WorkQueue(kernel)
+        got = drain(kernel, queue, 1)
+        kernel.run(until=0.1)
+        queue.add("a")
+        kernel.run(until=0.2)
+        assert [key for _t, key in got] == ["a"]
+        assert len(queue) == 0
+
+
+class TestWorkQueueDelaysAndBackoff:
+    def test_add_after_fires_at_delay(self, kernel):
+        queue = WorkQueue(kernel)
+        got = drain(kernel, queue, 1)
+        queue.add_after("a", 2.5)
+        kernel.run(until=5.0)
+        assert got == [(2.5, "a")]
+
+    def test_delayed_adds_keep_earliest_fire_time(self, kernel):
+        queue = WorkQueue(kernel)
+        got = drain(kernel, queue, 1)
+        queue.add_after("a", 3.0)
+        queue.add_after("a", 1.0)  # earlier wins
+        queue.add_after("a", 9.0)  # later is absorbed
+        kernel.run(until=20.0)
+        assert got == [(1.0, "a")]
+
+    def test_immediate_add_wins_over_pending_timer(self, kernel):
+        queue = WorkQueue(kernel)
+        got = drain(kernel, queue, 1)
+        queue.add_after("a", 4.0)
+        queue.add("a")
+        kernel.run(until=10.0)
+        assert [key for _t, key in got] == ["a"]
+        assert got[0][0] == 0.0
+
+    def test_requeue_backoff_is_exponential_and_capped(self, kernel):
+        queue = WorkQueue(kernel, backoff_base=0.1, backoff_max=0.5)
+        delays = [queue.requeue("a") for _ in range(5)]
+        assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_forget_resets_backoff(self, kernel):
+        queue = WorkQueue(kernel, backoff_base=0.1, backoff_max=5.0)
+        queue.requeue("a")
+        queue.requeue("a")
+        queue.forget("a")
+        assert queue.requeue("a") == 0.1
+
+
+class TestWorkQueueClose:
+    def test_close_fails_pending_getters(self, kernel):
+        queue = WorkQueue(kernel)
+        outcome = []
+
+        def getter():
+            try:
+                yield queue.get()
+            except ChannelClosed:
+                outcome.append("closed")
+
+        kernel.spawn(getter())
+        kernel.run(until=0.1)
+        queue.close()
+        kernel.run(until=0.2)
+        assert outcome == ["closed"]
+
+    def test_add_and_timers_ignored_after_close(self, kernel):
+        queue = WorkQueue(kernel)
+        queue.add_after("a", 1.0)
+        queue.close()
+        queue.add("b")
+        kernel.run(until=2.0)
+        assert len(queue) == 0
+
+
+class TestReconciler:
+    def test_static_keys_reconcile_at_start_and_resync(self, kernel):
+        seen = []
+        reconciler = Reconciler(kernel, "t", lambda key: seen.append((kernel.now, key)),
+                                resync_interval=1.0)
+        reconciler.add_static_key("x")
+        reconciler.start()
+        kernel.run(until=2.5)
+        reconciler.stop()
+        assert [t for t, _k in seen] == [0.0, 1.0, 2.0]
+
+    def test_watch_events_enqueue_keys(self, kernel):
+        channel = Channel(kernel)
+        seen = []
+        reconciler = Reconciler(kernel, "t", lambda key: seen.append(key))
+        reconciler.watch_channel("src", subscribe=lambda: channel,
+                                 keys_of=lambda event: [event])
+        reconciler.start()
+        kernel.run(until=0.1)
+        channel.put("a")
+        channel.put("b")
+        kernel.run(until=0.2)
+        reconciler.stop()
+        assert seen == ["a", "b"]
+
+    def test_delayed_keys_coalesce_progress_events(self, kernel):
+        channel = Channel(kernel)
+        seen = []
+        reconciler = Reconciler(kernel, "t", lambda key: seen.append((kernel.now, key)))
+        reconciler.watch_channel("src", subscribe=lambda: channel,
+                                 keys_of=lambda event: [(event, 1.0)])
+        reconciler.start()
+        kernel.run(until=0.1)
+        for _ in range(5):
+            channel.put("a")  # a burst of progress events
+        kernel.run(until=5.0)
+        reconciler.stop()
+        assert seen == [(1.1, "a")]  # burst at t=0.1, one pass 1s later
+
+    def test_failed_reconcile_requeues_with_backoff(self, kernel):
+        attempts = []
+
+        def reconcile(key):
+            attempts.append(kernel.now)
+            if len(attempts) < 3:
+                raise RuntimeError("transient")
+
+        reconciler = Reconciler(kernel, "t", reconcile)
+        reconciler.queue.backoff_base = 1.0
+        reconciler.add_static_key("x")
+        reconciler.start()
+        kernel.run(until=10.0)
+        reconciler.stop()
+        assert attempts == [0.0, 1.0, 3.0]  # +1s, then +2s
+
+    def test_closed_channel_triggers_rewatch_and_relist(self, kernel):
+        channels = []
+        seen = []
+
+        def subscribe():
+            channel = Channel(kernel)
+            channels.append(channel)
+            return channel
+
+        reconciler = Reconciler(kernel, "t", lambda key: seen.append(key),
+                                rewatch_delay=0.5)
+        reconciler.watch_channel("src", subscribe=subscribe,
+                                 keys_of=lambda event: [event],
+                                 list_keys=lambda: ["relisted"])
+        reconciler.start()
+        kernel.run(until=0.1)
+        channels[0].close()  # the serving node crashed
+        kernel.run(until=1.0)
+        reconciler.stop()
+        assert len(channels) == 2
+        assert reconciler.rewatches == 1
+        # One relist at first subscribe, one after re-establishment.
+        assert seen == ["relisted", "relisted"]
+
+    def test_generator_reconcile_and_list_keys(self, kernel):
+        seen = []
+
+        def reconcile(key):
+            yield kernel.sleep(0.1)
+            seen.append((kernel.now, key))
+
+        def list_keys():
+            yield kernel.sleep(0.0)
+            return ["g"]
+
+        reconciler = Reconciler(kernel, "t", reconcile)
+        reconciler.add_source(WatchSource("gen", list_keys=list_keys))
+        reconciler.start()
+        kernel.run(until=1.0)
+        reconciler.stop()
+        assert seen == [(0.1, "g")]
+
+    def test_stop_kills_worker_and_closes_queue(self, kernel):
+        reconciler = Reconciler(kernel, "t", lambda key: None,
+                                resync_interval=1.0)
+        reconciler.add_static_key("x")
+        reconciler.start()
+        kernel.run(until=0.5)
+        reconciler.stop()
+        assert reconciler.queue.closed
+        kernel.run(until=5.0)  # no residual activity
+        assert reconciler.resyncs == 0
