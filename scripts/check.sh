@@ -13,5 +13,8 @@ else
     echo "== ruff not installed; skipping lint (pip install ruff to enable) =="
 fi
 
+echo "== metric-name lint =="
+python scripts/lint_metric_names.py
+
 echo "== pytest (tier 1) =="
 PYTHONPATH=src python -m pytest -q "$@"

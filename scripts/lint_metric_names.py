@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Lint: metric names must be static string literals.
+
+Scans ``src/`` for ``*.counter(...)`` / ``*.gauge(...)`` /
+``*.histogram(...)`` calls whose name argument is not a plain string
+constant — f-strings, concatenation or variables smuggle unbounded
+dimensions (job ids, pod names) into the metric *name*, exploding the
+time-series space. Dynamic dimensions belong in labels:
+
+    bad:   metrics.counter(f"logs.{job_id}.lines")
+    good:  metrics.counter("logs_collected_lines_total", ("job",))
+               .labels(job=job_id)
+
+Static names must also match the registry's charset
+(``[a-zA-Z_][a-zA-Z0-9_.]*``). Exits non-zero listing violations;
+wired into ``scripts/check.sh`` (and thus ``make check``).
+"""
+
+import ast
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC = ROOT / "src"
+FACTORIES = {"counter", "gauge", "histogram"}
+NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_.]*$")
+
+# The registry itself forwards a caller-supplied name; that is the one
+# place a non-literal name argument is by design.
+EXEMPT = {SRC / "repro" / "sim" / "metrics.py"}
+
+
+def check_file(path):
+    tree = ast.parse(path.read_text(), filename=str(path))
+    violations = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr in FACTORIES):
+            continue
+        if not node.args:
+            continue  # name passed by keyword or missing: registry rejects
+        name_arg = node.args[0]
+        where = f"{path.relative_to(ROOT)}:{name_arg.lineno}"
+        if isinstance(name_arg, ast.Constant) and isinstance(name_arg.value, str):
+            if not NAME_RE.match(name_arg.value):
+                violations.append(
+                    f"{where}: metric name {name_arg.value!r} has invalid "
+                    f"characters")
+        else:
+            violations.append(
+                f"{where}: dynamic metric name "
+                f"({ast.unparse(name_arg)}); use a static name and put "
+                f"the dynamic dimension in a label")
+    return violations
+
+
+def main():
+    violations = []
+    for path in sorted(SRC.rglob("*.py")):
+        if path in EXEMPT:
+            continue
+        violations.extend(check_file(path))
+    for line in violations:
+        print(line)
+    if violations:
+        print(f"{len(violations)} dynamic metric name(s); "
+              f"job ids belong in labels, not names", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

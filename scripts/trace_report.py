@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Run one job through the platform and print its causal trace.
+
+The report shows the span tree rooted at the API submission — API ->
+LCM -> Guardian -> helper/learner containers — followed by the critical
+path, attributing the job's end-to-end latency to deployment and
+training stages (the per-stage breakdown behind the paper's Fig. 4
+style recovery analysis).
+
+Usage::
+
+    PYTHONPATH=src python scripts/trace_report.py [--steps N] [--learners N]
+"""
+
+import argparse
+import sys
+
+from repro.bench import bench_manifest, build_platform
+from repro.sim import render_critical_path, render_span_tree
+
+
+def run_job(steps, learners):
+    platform = build_platform("k80", gpus_per_node=4)
+    manifest = bench_manifest("vgg16", "tensorflow", gpus=1, gpu_type="k80",
+                              steps=steps, learners=learners)
+    client = platform.client("trace-report")
+    job_id, doc = platform.run_process(
+        client.run_to_completion(manifest, timeout=100_000), limit=500_000
+    )
+    return platform, job_id, doc
+
+
+def report(platform, job_id, doc, out=sys.stdout):
+    tracer = platform.tracer
+    roots = tracer.find_spans(name="api.submit", job=job_id)
+    if not roots:
+        print(f"no api.submit span for {job_id}", file=out)
+        return 1
+    trace_id = roots[0].trace_id
+    print(f"job {job_id}: {doc['status']} "
+          f"({len(tracer.trace_of(trace_id))} spans in trace {trace_id})",
+          file=out)
+    print(file=out)
+    print(render_span_tree(tracer, trace_id), file=out)
+    print(file=out)
+    print(render_critical_path(tracer, trace_id), file=out)
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--steps", type=int, default=50,
+                        help="training steps for the demo job")
+    parser.add_argument("--learners", type=int, default=1,
+                        help="learner replicas for the demo job")
+    args = parser.parse_args(argv)
+    platform, job_id, doc = run_job(args.steps, args.learners)
+    return report(platform, job_id, doc)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -25,13 +25,14 @@ class KubernetesCluster:
     """The platform layer: nodes, control plane, image registry."""
 
     def __init__(self, kernel, nfs_server, tracer=None, kubelet_config=None,
-                 eviction_timeout=3.0):
+                 eviction_timeout=3.0, metrics=None):
         self.kernel = kernel
         self.nfs = nfs_server
         self.tracer = tracer
         self.api = ApiServer(kernel, tracer=tracer)
         self.registry = ImageRegistry(kernel)
-        self.scheduler = Scheduler(kernel, self.api, tracer=tracer)
+        self.scheduler = Scheduler(kernel, self.api, tracer=tracer,
+                                   metrics=metrics)
         self.kubelet_config = kubelet_config or KubeletConfig()
         self.controllers = [
             JobController(kernel, self.api),

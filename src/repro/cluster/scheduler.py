@@ -14,7 +14,7 @@ class Scheduler:
     STRATEGIES = ("binpack", "spread")
 
     def __init__(self, kernel, api, interval=0.1, tracer=None, strategy="binpack",
-                 preemption=True):
+                 preemption=True, metrics=None):
         if strategy not in self.STRATEGIES:
             raise ValueError(f"unknown strategy {strategy!r}")
         self.kernel = kernel
@@ -27,6 +27,20 @@ class Scheduler:
         self._proc = None
         self.scheduled_count = 0
         self.preemptions = 0
+        if metrics is not None:
+            self._m_pending = metrics.gauge(
+                "scheduler_pending_pods",
+                help="Unbound pending pods at the last scheduling pass")
+            self._m_placement = metrics.histogram(
+                "scheduler_placement_latency_seconds",
+                help="Pod creation to node binding")
+            self._m_scheduled = metrics.counter(
+                "scheduler_scheduled_pods_total", help="Pods bound to nodes")
+            self._m_preempted = metrics.counter(
+                "scheduler_preemptions_total", help="Pods evicted by priority")
+        else:
+            self._m_pending = self._m_placement = None
+            self._m_scheduled = self._m_preempted = None
 
     def start(self):
         if self.alive:
@@ -60,6 +74,8 @@ class Scheduler:
             if pod.phase == "Pending" and pod.node_name is None
             and not pod.deletion_requested
         ]
+        if self._m_pending is not None:
+            self._m_pending.set(len(pending))
         if not pending:
             return 0
         pending.sort(key=lambda p: (-p.spec.priority, p.metadata.creation_time or 0.0))
@@ -152,6 +168,8 @@ class Scheduler:
                                   f"by {pod.metadata.name} "
                                   f"(priority {pod.spec.priority})")
             self.preemptions += 1
+            if self._m_preempted is not None:
+                self._m_preempted.inc()
         return True
 
     def _victims_on(self, node, pod):
@@ -215,3 +233,8 @@ class Scheduler:
             self.tracer.emit("scheduler", "bind", pod=pod.metadata.name,
                              node=node.metadata.name)
         self.scheduled_count += 1
+        if self._m_scheduled is not None:
+            self._m_scheduled.inc()
+            created = pod.metadata.creation_time
+            if created is not None:
+                self._m_placement.observe(self.kernel.now - created)

@@ -16,6 +16,7 @@ from ..docstore import MongoClient
 from ..grpcnet import Client, Server
 from ..grpcnet.errors import RpcError
 from ..raftkv import EtcdClient
+from ..sim.tracing import extract_context
 from . import layout
 from .auth import Metering, RateLimiter
 from .errors import JobNotFound
@@ -31,7 +32,7 @@ class ApiService:
         self.kernel = platform.kernel
         self.address = address
         self.mongo = MongoClient(self.kernel, platform.network, platform.mongo,
-                                 caller=address)
+                                 caller=address, tracer=platform.tracer)
         self.etcd = EtcdClient(self.kernel, platform.network, platform.etcd,
                                client_id=address)
         self.metering = Metering(self.mongo)
@@ -61,31 +62,44 @@ class ApiService:
     # ------------------------------------------------------------------
 
     def _on_submit(self, request):
-        tenant = yield from self._authenticate(request, "submit")
-        manifest = TrainingManifest.from_dict(request.get("manifest"))
-
-        seq = yield from self._next_sequence()
-        job_id = f"job-{seq:05d}"
-        document = {
-            "job_id": job_id,
-            "tenant": tenant,
-            "name": manifest.name,
-            "manifest": manifest.to_dict(),
-            "status": QUEUED,
-            "status_history": [{"status": QUEUED, "time": self.kernel.now}],
-            "created_at": self.kernel.now,
-            "completed_at": None,
-        }
-        # Metadata is durable in MongoDB BEFORE the request is
-        # acknowledged — submitted jobs are never lost.
-        yield from self.mongo.insert_one("jobs", document)
-        yield from self.metering.record_submission(tenant, manifest.total_gpus)
-
-        # Best-effort LCM notify; the reconcile loop is the safety net.
+        # The root of the job's causal trace: everything downstream
+        # (LCM, Guardian, helpers, learners) parents back to this span,
+        # via RPC metadata or the ("job", job_id) binding.
+        span = self.platform.tracer.start_span(
+            "api.submit", component="api", parent=extract_context(request))
         try:
-            yield from self.lcm.call("deploy_job", {"job_id": job_id}, deadline=1.0)
-        except RpcError:
-            pass
+            tenant = yield from self._authenticate(request, "submit")
+            manifest = TrainingManifest.from_dict(request.get("manifest"))
+
+            seq = yield from self._next_sequence()
+            job_id = f"job-{seq:05d}"
+            span.set_attribute("job", job_id)
+            self.platform.tracer.bind(("job", job_id), span.context)
+            document = {
+                "job_id": job_id,
+                "tenant": tenant,
+                "name": manifest.name,
+                "manifest": manifest.to_dict(),
+                "status": QUEUED,
+                "status_history": [{"status": QUEUED, "time": self.kernel.now}],
+                "created_at": self.kernel.now,
+                "completed_at": None,
+            }
+            # Metadata is durable in MongoDB BEFORE the request is
+            # acknowledged — submitted jobs are never lost.
+            yield from self.mongo.insert_one("jobs", document, ctx=span.context)
+            yield from self.metering.record_submission(tenant, manifest.total_gpus)
+
+            # Best-effort LCM notify; the reconcile loop is the safety net.
+            try:
+                yield from self.lcm.call("deploy_job", {"job_id": job_id},
+                                         deadline=1.0, ctx=span.context)
+            except RpcError:
+                pass
+        except BaseException:
+            span.end("error")
+            raise
+        span.end("ok")
         return {"job_id": job_id, "status": QUEUED}
 
     def _next_sequence(self):

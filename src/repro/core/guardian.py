@@ -99,14 +99,33 @@ class Guardian:
         self.etcd = EtcdClient(self.kernel, platform.network, platform.etcd,
                                client_id=f"guardian-{job_id}-{ctx.pod.metadata.uid}")
         self.mongo = MongoClient(self.kernel, platform.network, platform.mongo,
-                                 caller=f"guardian-{job_id}")
+                                 caller=f"guardian-{job_id}",
+                                 tracer=platform.tracer)
         self.manifest = None
+        self.span = None
         self._last_reports = []
         self._stall_restarts = {}  # ordinal -> last restart time
 
     # ------------------------------------------------------------------
 
     def run(self):
+        tracer = self.platform.tracer
+        parent = (tracer.context_of(("job-deploy", self.job_id))
+                  or tracer.context_of(("job", self.job_id)))
+        self.span = tracer.start_span("guardian.run", component="guardian",
+                                      parent=parent, job=self.job_id)
+        # Helper containers and learners created by this incarnation
+        # parent on the Guardian span via the correlation registry.
+        tracer.bind(("job-run", self.job_id), self.span.context)
+        try:
+            result = yield from self._run()
+        except BaseException:
+            self.span.end("error")
+            raise
+        self.span.end("ok")
+        return result
+
+    def _run(self):
         yield self.kernel.sleep(self.platform.config.guardian_init_time)
         self.platform.tracer.emit("guardian", "component-ready", job=self.job_id)
 
@@ -118,10 +137,26 @@ class Guardian:
             return 0
         self.manifest = TrainingManifest.from_dict(doc["manifest"])
 
-        deployed = yield from self._recover_and_deploy()
+        deploy_span = self.platform.tracer.start_span(
+            "guardian.deploy", component="guardian", parent=self.span,
+            job=self.job_id)
+        try:
+            deployed = yield from self._recover_and_deploy()
+        except BaseException:
+            deploy_span.end("error")
+            raise
+        deploy_span.end("ok" if deployed else "failed")
         if not deployed:
             return 0  # job marked FAILED; K8S Job completes
-        result = yield from self._monitor()
+        monitor_span = self.platform.tracer.start_span(
+            "guardian.monitor", component="guardian", parent=self.span,
+            job=self.job_id)
+        try:
+            result = yield from self._monitor()
+        except BaseException:
+            monitor_span.end("error")
+            raise
+        monitor_span.end("ok")
         return result
 
     # ------------------------------------------------------------------
@@ -342,6 +377,7 @@ class Guardian:
             resync_interval=config.monitor_interval,
             rewatch_delay=config.watch_retry_delay,
             tracer=self.platform.tracer,
+            metrics=self.platform.metrics,
         )
         reconciler.queue.backoff_base = config.reconciler_backoff_base
         reconciler.queue.backoff_max = config.reconciler_backoff_max
@@ -432,6 +468,9 @@ class Guardian:
 
     def _finish(self, final_status):
         self.ctx.log(f"job {self.job_id} reached {final_status}; tearing down")
+        teardown_span = self.platform.tracer.start_span(
+            "guardian.teardown", component="guardian", parent=self.span,
+            job=self.job_id, final_status=final_status)
         yield from self._teardown()
 
         # Wait for the job's pods to actually terminate before cleaning
@@ -454,6 +493,7 @@ class Guardian:
             {"$set": {"completed_at": self.kernel.now}},
         )
         yield from self._record_gpu_seconds()
+        teardown_span.end("ok")
         self.platform.tracer.emit("guardian", "job-finished", job=self.job_id,
                                   status=final_status)
 

@@ -90,6 +90,9 @@ def make_controller_workload(platform, job_id, manifest):
         etcd = EtcdClient(kernel, platform.network, platform.etcd,
                           client_id=f"controller-{job_id}-{ctx.pod.metadata.uid}")
         platform.tracer.emit("controller", "component-ready", job=job_id)
+        span = platform.tracer.start_span(
+            "controller.run", component="controller",
+            parent=platform.tracer.context_of(("job-run", job_id)), job=job_id)
         last_reported = {}
         # Hang detection state: per-learner (status-file content, time it
         # last changed). Rebuilt from scratch after a controller restart
@@ -141,6 +144,7 @@ def make_controller_workload(platform, job_id, manifest):
             resync_interval=poll,
             rewatch_delay=platform.config.watch_retry_delay,
             tracer=platform.tracer,
+            metrics=platform.metrics,
         )
         reconciler.queue.backoff_base = platform.config.reconciler_backoff_base
         reconciler.queue.backoff_max = platform.config.reconciler_backoff_max
@@ -152,6 +156,7 @@ def make_controller_workload(platform, job_id, manifest):
             yield ctx.stop_event
         finally:
             reconciler.stop()
+            span.end("ok")
         return 0
 
     return workload
@@ -296,7 +301,12 @@ def make_log_collector_workload(platform, job_id, manifest):
         kernel = ctx.kernel
         mount = ctx.mounts["job"]
         offsets = {}
-        collected = platform.metrics.counter(f"logs.{job_id}.lines")
+        # Static metric name, dynamic dimension in the label: per-job
+        # names would grow the series namespace without bound.
+        collected = platform.metrics.counter(
+            "logs_collected_lines_total", ("job",),
+            help="Learner log lines folded into the combined job log",
+        ).labels(job=job_id)
 
         def collect():
             for ordinal in range(manifest.learners):

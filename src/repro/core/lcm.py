@@ -29,7 +29,7 @@ class LcmService:
         self.kernel = platform.kernel
         self.address = address
         self.mongo = MongoClient(self.kernel, platform.network, platform.mongo,
-                                 caller=address)
+                                 caller=address, tracer=platform.tracer)
         self.etcd = EtcdClient(self.kernel, platform.network, platform.etcd,
                                client_id=address)
         self.server = Server(self.kernel, platform.network, address)
@@ -68,6 +68,11 @@ class LcmService:
         if self.platform.k8s.api.exists("Job", name):
             return False
 
+        tracer = self.platform.tracer
+        span = tracer.start_span("lcm.deploy_job", component="lcm",
+                                 parent=tracer.context_of(("job", job_id)),
+                                 job=job_id)
+
         # Claim the job: QUEUED -> DEPLOYING exactly once, even with
         # concurrent LCM instances or notify+reconcile races.
         doc = yield from self.mongo.find_one_and_update(
@@ -75,10 +80,14 @@ class LcmService:
             {"$set": {"status": "DEPLOYING"},
              "$push": {"status_history": {"status": "DEPLOYING",
                                           "time": self.kernel.now}}},
+            ctx=span.context,
         )
         if doc is None:
+            span.end("noop")
             return False
 
+        # The Guardian (and everything it creates) parents on this span.
+        tracer.bind(("job-deploy", job_id), span.context)
         platform = self.platform
 
         def spec_factory():
@@ -101,6 +110,7 @@ class LcmService:
             self.kernel.now - start
         )
         self.platform.tracer.emit("lcm", "guardian-created", job=job_id)
+        span.end("ok")
         return True
 
     # ------------------------------------------------------------------
@@ -126,12 +136,15 @@ class LcmService:
             docs = yield from self.mongo.find("jobs", {"status": QUEUED})
             return [doc["job_id"] for doc in docs]
 
+        tracer = self.platform.tracer
         reconciler = Reconciler(
             self.kernel, f"deploy:{self.address}",
             self.deploy_job,
             resync_interval=self.platform.config.lcm_reconcile_interval,
             rewatch_delay=self.platform.config.watch_retry_delay,
-            tracer=self.platform.tracer,
+            tracer=tracer,
+            metrics=self.platform.metrics,
+            key_context=lambda job_id: tracer.context_of(("job", job_id)),
         )
         reconciler.add_source(WatchSource("mongo-queued", list_keys=list_queued))
         return self._tune_queue(reconciler)
@@ -161,6 +174,7 @@ class LcmService:
             resync_interval=self.platform.config.lcm_gc_interval,
             rewatch_delay=self.platform.config.watch_retry_delay,
             tracer=self.platform.tracer,
+            metrics=self.platform.metrics,
         )
         reconciler.watch_channel("k8s-jobs", subscribe=lambda: api.watch("Job"),
                                  keys_of=keys_of, list_keys=job_names)

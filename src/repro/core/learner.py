@@ -86,6 +86,10 @@ def make_learner_workload(platform, job_id, manifest):
             return 0
 
         log(f"learner-{ordinal} starting for {job_id}")
+        span = platform.tracer.start_span(
+            "learner.run", component=f"learner-{ordinal}",
+            parent=platform.tracer.context_of(("job-run", job_id)),
+            job=job_id, ordinal=ordinal)
         write_learner_status(mount, ordinal, WAITING_DATA, 0, kernel.now)
 
         # Wait for the load-data helper to stage the training data,
@@ -93,6 +97,7 @@ def make_learner_workload(platform, job_id, manifest):
         ready = yield from wait_for_file(ctx, mount, layout.DATA_READY)
         if not ready:
             mount.write_file(layout.learner_exit_file(ordinal), "143")
+            span.end("error")
             return 143
 
         # MPI wire-up barrier (paper §II: deployment involves "setting
@@ -114,6 +119,7 @@ def make_learner_workload(platform, job_id, manifest):
                                                    all_joined)
             if not joined:
                 mount.write_file(layout.learner_exit_file(ordinal), "143")
+                span.end("error")
                 return 143
 
         # Bind to the cloud object store (credentials + connector
@@ -171,6 +177,7 @@ def make_learner_workload(platform, job_id, manifest):
                 mount.write_file(hang_marker, "1")
                 log(f"learner-{ordinal} hanging at step {training.step}")
                 yield ctx.stop_event  # wedged forever (until killed)
+                span.end("error")
                 return 143
         elif fail_at is not None and ordinal == fail_on:
             exit_code = yield from _run_until_failure(kernel, training, int(fail_at),
@@ -191,6 +198,7 @@ def make_learner_workload(platform, job_id, manifest):
         platform.tracer.emit(f"learner-{ordinal}", "learner-exit", job=job_id,
                              exit_code=exit_code, step=training.step)
         log(f"learner-{ordinal} exiting with code {exit_code}")
+        span.end("ok" if exit_code == 0 else "error")
         return exit_code
 
     return workload

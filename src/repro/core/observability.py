@@ -20,6 +20,24 @@ class ClusterMonitor:
         self.samples = []
         self._proc = None
         self.running = False
+        # Each sample also updates the shared registry so the REST
+        # /metrics endpoint exposes the same numbers operators would
+        # scrape from a real cluster.
+        metrics = platform.metrics
+        self._g_gpus_total = metrics.gauge(
+            "cluster_gpus_total", help="GPUs in the cluster")
+        self._g_gpus_allocated = metrics.gauge(
+            "cluster_gpus_allocated", help="GPUs currently allocated to pods")
+        self._g_nodes = metrics.gauge(
+            "cluster_nodes", help="Schedulable nodes")
+        self._g_pods = metrics.gauge(
+            "cluster_pods", ("phase",), help="Pods by phase")
+        self._g_jobs = metrics.gauge(
+            "cluster_jobs", ("status",), help="DL jobs by status")
+        # Label values seen so far; counts that drop to zero must be
+        # written as 0, not left at their last value.
+        self._seen_phases = set()
+        self._seen_statuses = set()
 
     def start(self):
         if self.running:
@@ -61,7 +79,19 @@ class ClusterMonitor:
                 "pods": phases,
                 "jobs": statuses,
             })
+            self._publish(capacity, phases, statuses)
             yield self.kernel.sleep(self.interval)
+
+    def _publish(self, capacity, phases, statuses):
+        self._g_gpus_total.set(capacity["gpus_total"])
+        self._g_gpus_allocated.set(capacity["gpus_allocated"])
+        self._g_nodes.set(capacity["nodes"])
+        self._seen_phases.update(phases)
+        for phase in self._seen_phases:
+            self._g_pods.labels(phase=phase).set(phases.get(phase, 0))
+        self._seen_statuses.update(statuses)
+        for status in self._seen_statuses:
+            self._g_jobs.labels(status=status).set(statuses.get(status, 0))
 
     # ------------------------------------------------------------------
     # Analysis

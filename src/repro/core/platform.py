@@ -83,6 +83,10 @@ class PlatformConfig:
     log_collect_interval: float = 1.0
     progress_every: int = 20
 
+    # Observability: causal span collection (flat trace records and
+    # metrics stay on — they are load-bearing for tests and benchmarks).
+    span_tracing: bool = True
+
     # Fabric
     network_latency: float = 0.0008
     network_jitter: float = 0.0006
@@ -101,7 +105,8 @@ class DlaasPlatform:
     def __init__(self, kernel=None, config=None, seed=0):
         self.kernel = kernel or Kernel(seed=seed)
         self.config = config or PlatformConfig()
-        self.tracer = Tracer(self.kernel)
+        self.tracer = Tracer(self.kernel,
+                             span_tracing=self.config.span_tracing)
         self.metrics = MetricsRegistry()
         self.faults = FaultInjector(self.kernel, tracer=self.tracer)
         self.network = Network(
@@ -109,12 +114,15 @@ class DlaasPlatform:
             latency=LatencyModel(self.config.network_latency,
                                  self.config.network_jitter),
             tracer=None,
+            metrics=self.metrics,
         )
-        self.nfs = NfsServer(self.kernel)
-        self.object_store = ObjectStore(self.kernel)
-        self.k8s = KubernetesCluster(self.kernel, self.nfs, tracer=self.tracer)
+        self.nfs = NfsServer(self.kernel, metrics=self.metrics)
+        self.object_store = ObjectStore(self.kernel, metrics=self.metrics)
+        self.k8s = KubernetesCluster(self.kernel, self.nfs, tracer=self.tracer,
+                                     metrics=self.metrics)
         self.etcd = EtcdCluster(self.kernel, self.network,
-                                size=self.config.etcd_size)
+                                size=self.config.etcd_size,
+                                metrics=self.metrics)
         self.mongo = MongoReplicaSet(self.kernel, self.network,
                                      size=self.config.mongo_size)
         self.tokens = TokenRegistry()

@@ -53,6 +53,13 @@ class RestGateway:
     def handle(self, request):
         method = request.get("method", "GET").upper()
         path = request.get("path", "/")
+        # Prometheus-style scrape endpoint: unauthenticated (the real
+        # platform exposes it on a cluster-internal port) and rendered
+        # as text, not JSON.
+        if method == "GET" and path == "/metrics":
+            return {"status": 200,
+                    "body": self.api_service.platform.metrics.expose(),
+                    "content_type": "text/plain; version=0.0.4"}
         token = self._bearer_token(request.get("headers") or {})
         payload = {"token": token}
         payload.update(request.get("query") or {})

@@ -36,12 +36,20 @@ def job_timeline(platform, job_id, status_doc=None):
 
 
 def render_timeline(entries, limit=None):
-    """Format timeline entries as aligned text lines."""
-    if limit is not None and len(entries) > limit:
+    """Format timeline entries as aligned text lines.
+
+    ``limit`` caps the number of real entries shown: the first
+    ``limit // 2`` and the last ``limit - limit // 2`` survive, with a
+    single elision marker between them counting what was dropped.
+    """
+    if limit is not None and limit >= 0 and len(entries) > limit:
         skipped = len(entries) - limit
-        entries = entries[:limit // 2] + entries[-(limit - limit // 2):]
-        marker = [(None, None, f"... {skipped} events elided ...")]
-        entries = entries[: limit // 2] + marker + entries[limit // 2:]
+        head_count = limit // 2
+        # Positive tail index: entries[-(limit - head_count):] breaks
+        # down at limit == 0, where -0 slices the whole list back in.
+        tail_start = len(entries) - (limit - head_count)
+        marker = (None, None, f"... {skipped} events elided ...")
+        entries = entries[:head_count] + [marker] + entries[tail_start:]
     width = max((len(source) for _t, source, _x in entries if source), default=6)
     lines = []
     for time, source, text in entries:

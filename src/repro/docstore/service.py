@@ -215,68 +215,87 @@ class MongoClient:
     """
 
     def __init__(self, kernel, network, replica_set, caller="mongo-client",
-                 max_attempts=40, retry_delay=0.05):
+                 max_attempts=40, retry_delay=0.05, tracer=None):
         self.kernel = kernel
         self.network = network
         self.replica_set = replica_set
         self.caller = caller
         self.max_attempts = max_attempts
         self.retry_delay = retry_delay
+        self.tracer = tracer
 
-    def _command(self, request):
+    def _command(self, request, ctx=None):
+        span = None
+        if self.tracer is not None and ctx is not None:
+            span = self.tracer.start_span(
+                f"mongo.{request['op']}", component=self.caller, parent=ctx,
+                collection=request.get("collection"))
         last_error = None
-        for attempt in range(self.max_attempts):
-            if attempt:
-                yield self.kernel.sleep(self.retry_delay)
-            for member_id in self.replica_set.member_ids:
-                try:
-                    response = yield self.network.call(
-                        member_id, "command", request, deadline=0.5, caller=self.caller
-                    )
-                    return response
-                except ServiceError as exc:
-                    if isinstance(exc.cause, NoPrimary):
-                        last_error = exc.cause
+        try:
+            for attempt in range(self.max_attempts):
+                if attempt:
+                    yield self.kernel.sleep(self.retry_delay)
+                for member_id in self.replica_set.member_ids:
+                    try:
+                        response = yield self.network.call(
+                            member_id, "command", request, deadline=0.5,
+                            caller=self.caller
+                        )
+                        if span is not None:
+                            span.end("ok")
+                        return response
+                    except ServiceError as exc:
+                        if isinstance(exc.cause, NoPrimary):
+                            last_error = exc.cause
+                            continue
+                        raise
+                    except RpcError as exc:
+                        last_error = exc
                         continue
-                    raise
-                except RpcError as exc:
-                    last_error = exc
-                    continue
-        raise NoPrimary(f"no primary after {self.max_attempts} attempts: {last_error!r}")
+            raise NoPrimary(
+                f"no primary after {self.max_attempts} attempts: {last_error!r}")
+        except BaseException:
+            if span is not None:
+                span.end("error")
+            raise
 
     # Convenience wrappers -------------------------------------------------
 
-    def insert_one(self, collection, document):
+    def insert_one(self, collection, document, ctx=None):
         response = yield from self._command(
-            {"op": "insert_one", "collection": collection, "document": document}
+            {"op": "insert_one", "collection": collection, "document": document},
+            ctx=ctx,
         )
         return response["inserted_id"]
 
-    def find_one(self, collection, query=None):
+    def find_one(self, collection, query=None, ctx=None):
         response = yield from self._command(
-            {"op": "find_one", "collection": collection, "query": query or {}}
+            {"op": "find_one", "collection": collection, "query": query or {}},
+            ctx=ctx,
         )
         return response["document"]
 
-    def find(self, collection, query=None, sort=None, limit=None, skip=0):
+    def find(self, collection, query=None, sort=None, limit=None, skip=0,
+             ctx=None):
         response = yield from self._command({
             "op": "find", "collection": collection, "query": query or {},
             "sort": sort, "limit": limit, "skip": skip,
-        })
+        }, ctx=ctx)
         return response["documents"]
 
-    def update_one(self, collection, query, update, upsert=False):
+    def update_one(self, collection, query, update, upsert=False, ctx=None):
         response = yield from self._command({
             "op": "update_one", "collection": collection,
             "query": query, "update": update, "upsert": upsert,
-        })
+        }, ctx=ctx)
         return response["matched"], response["modified"]
 
-    def find_one_and_update(self, collection, query, update, return_new=True):
+    def find_one_and_update(self, collection, query, update, return_new=True,
+                            ctx=None):
         response = yield from self._command({
             "op": "find_one_and_update", "collection": collection,
             "query": query, "update": update, "return_new": return_new,
-        })
+        }, ctx=ctx)
         return response["document"]
 
     def delete_many(self, collection, query):

@@ -7,6 +7,7 @@ fail-over (paper §III.c). :class:`LoadBalancer` models that; a
 address directly).
 """
 
+from ..sim.tracing import inject_context
 from .errors import DeadlineExceeded, Unavailable
 
 
@@ -70,15 +71,20 @@ class Client:
             return self.target.pick_order()
         return [self.target]
 
-    def call(self, method, request=None, deadline=None):
+    def call(self, method, request=None, deadline=None, ctx=None):
         """Invoke ``method``, retrying transient failures with backoff.
 
         Retries cover ``Unavailable`` and ``DeadlineExceeded`` — the
         failure modes a crash or fail-over produces. Remote application
         errors (``ServiceError``) are not retried: the platform treats
         those as genuine responses.
+
+        ``ctx`` is an optional :class:`~repro.sim.tracing.SpanContext`;
+        it rides in the request metadata (dict requests only) so the
+        remote handler can parent its span on the caller's.
         """
         deadline = self.deadline if deadline is None else deadline
+        request = inject_context(request, ctx)
         last_error = None
         for attempt in range(self.retries + 1):
             if attempt:

@@ -27,7 +27,8 @@ class LatencyModel:
 class Network:
     """Registry of endpoints plus the latency/partition/loss model."""
 
-    def __init__(self, kernel, latency=None, loss_rate=0.0, tracer=None):
+    def __init__(self, kernel, latency=None, loss_rate=0.0, tracer=None,
+                 metrics=None):
         if not 0.0 <= loss_rate < 1.0:
             raise ValueError(f"loss_rate must be in [0, 1): {loss_rate}")
         self.kernel = kernel
@@ -39,6 +40,15 @@ class Network:
         self._rng = kernel.rng("network")
         self.calls_total = 0
         self.calls_failed = 0
+        if metrics is not None:
+            self._m_calls = metrics.counter(
+                "rpc_client_calls_total", ("method", "code"),
+                help="RPC invocations by method and outcome code")
+            self._m_duration = metrics.histogram(
+                "rpc_client_duration_seconds", ("method",),
+                help="RPC wall time from initiation to response")
+        else:
+            self._m_calls = self._m_duration = None
 
     # ------------------------------------------------------------------
     # Endpoint registry
@@ -109,6 +119,8 @@ class Network:
 
     def _call(self, address, method, request, caller):
         self.calls_total += 1
+        started = self.kernel.now
+        code = "ok"
         try:
             yield self.kernel.sleep(self.latency.sample(self._rng))
             if self.loss_rate and self._rng.random() < self.loss_rate:
@@ -127,9 +139,14 @@ class Network:
             if self.is_partitioned(caller, address):
                 raise Unavailable(f"response from {address} dropped by partition")
             return response
-        except Exception:
+        except Exception as exc:
             self.calls_failed += 1
+            code = type(exc).__name__
             raise
         finally:
+            if self._m_calls is not None:
+                self._m_calls.labels(method=method, code=code).inc()
+                self._m_duration.labels(method=method).observe(
+                    self.kernel.now - started)
             if self.tracer is not None:
                 self.tracer.emit("network", "rpc", caller=caller, address=address, method=method)

@@ -20,7 +20,9 @@ class Mount:
         self.active = True
         self._subscriptions = []
 
-    def _fs(self):
+    def _fs(self, op=None):
+        if op is not None:
+            self._server.record_op(op, ok=self.active and self._server.available)
         if not self.active:
             raise FsError(f"mount of {self.volume_name!r} is stale")
         if not self._server.available:
@@ -42,49 +44,63 @@ class Mount:
     # Delegate the filesystem API through the liveness checks.
 
     def mkdir(self, path, parents=True):
-        return self._fs().mkdir(path, parents=parents)
+        return self._fs("mkdir").mkdir(path, parents=parents)
 
     def listdir(self, path="/"):
-        return self._fs().listdir(path)
+        return self._fs("listdir").listdir(path)
 
     def is_dir(self, path):
-        return self._fs().is_dir(path)
+        return self._fs("stat").is_dir(path)
 
     def write_file(self, path, content, append=False):
-        return self._fs().write_file(path, content, append=append)
+        return self._fs("write").write_file(path, content, append=append)
 
     def append_line(self, path, line):
-        return self._fs().append_line(path, line)
+        return self._fs("write").append_line(path, line)
 
     def read_file(self, path):
-        return self._fs().read_file(path)
+        return self._fs("read").read_file(path)
 
     def read_from(self, path, offset):
-        return self._fs().read_from(path, offset)
+        return self._fs("read").read_from(path, offset)
 
     def exists(self, path):
-        return self._fs().exists(path)
+        return self._fs("stat").exists(path)
 
     def size(self, path):
-        return self._fs().size(path)
+        return self._fs("stat").size(path)
 
     def mtime(self, path):
-        return self._fs().mtime(path)
+        return self._fs("stat").mtime(path)
 
     def delete(self, path, recursive=False):
-        return self._fs().delete(path, recursive=recursive)
+        return self._fs("delete").delete(path, recursive=recursive)
 
     def walk(self, path="/"):
-        return self._fs().walk(path)
+        return self._fs("listdir").walk(path)
 
 
 class NfsServer:
     """Holds the volumes; hands out mounts."""
 
-    def __init__(self, kernel=None):
+    def __init__(self, kernel=None, metrics=None):
         self._clock = (lambda: kernel.now) if kernel is not None else (lambda: 0.0)
         self._volumes = {}
         self.available = True
+        if metrics is not None:
+            self._m_ops = metrics.counter(
+                "nfs_ops_total", ("op",), help="NFS operations by kind")
+            self._m_errors = metrics.counter(
+                "nfs_op_errors_total", ("op",),
+                help="NFS operations refused (stale mount or outage)")
+        else:
+            self._m_ops = self._m_errors = None
+
+    def record_op(self, op, ok=True):
+        if self._m_ops is not None:
+            self._m_ops.labels(op=op).inc()
+            if not ok:
+                self._m_errors.labels(op=op).inc()
 
     def create_volume(self, name, exist_ok=False):
         if name in self._volumes:

@@ -41,7 +41,8 @@ class Bucket:
 class ObjectStore:
     """Buckets + objects + a transfer-time model."""
 
-    def __init__(self, kernel, link_bandwidth=GBIT, request_latency=0.02):
+    def __init__(self, kernel, link_bandwidth=GBIT, request_latency=0.02,
+                 metrics=None):
         self.kernel = kernel
         self.link_bandwidth = link_bandwidth
         self.request_latency = request_latency
@@ -49,6 +50,15 @@ class ObjectStore:
         self._etag_counter = 0
         self.bytes_uploaded = 0
         self.bytes_downloaded = 0
+        if metrics is not None:
+            self._m_transfer = metrics.histogram(
+                "objectstore_transfer_duration_seconds", ("op",),
+                help="Object upload/download wall time incl. request latency")
+            self._m_bytes = metrics.counter(
+                "objectstore_transferred_bytes_total", ("op",),
+                help="Payload bytes moved over the store link")
+        else:
+            self._m_transfer = self._m_bytes = None
 
     # ------------------------------------------------------------------
     # Buckets
@@ -118,14 +128,23 @@ class ObjectStore:
 
     def upload(self, bucket_name, key, credentials, size, payload=None, bandwidth=None):
         """Upload an object of ``size`` bytes; returns the StoredObject."""
+        started = self.kernel.now
         yield self.kernel.sleep(self.transfer_time(size, bandwidth))
         obj = self.put_object(bucket_name, key, credentials, size, payload)
         self.bytes_uploaded += size
+        self._record("upload", started, size)
         return obj
 
     def download(self, bucket_name, key, credentials, bandwidth=None):
         """Download an object; returns the StoredObject after the wait."""
+        started = self.kernel.now
         obj = self.head_object(bucket_name, key, credentials)
         yield self.kernel.sleep(self.transfer_time(obj.size, bandwidth))
         self.bytes_downloaded += obj.size
+        self._record("download", started, obj.size)
         return obj
+
+    def _record(self, op, started, size):
+        if self._m_transfer is not None:
+            self._m_transfer.labels(op=op).observe(self.kernel.now - started)
+            self._m_bytes.labels(op=op).inc(size)

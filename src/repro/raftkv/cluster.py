@@ -13,7 +13,7 @@ class EtcdCluster:
     """N Raft nodes plus test/experiment conveniences."""
 
     def __init__(self, kernel, network, size=3, prefix="etcd", timings=None,
-                 tracer=None, snapshot_threshold=500):
+                 tracer=None, snapshot_threshold=500, metrics=None):
         if size < 1:
             raise ValueError("cluster size must be >= 1")
         self.kernel = kernel
@@ -23,7 +23,8 @@ class EtcdCluster:
         self.nodes = {
             node_id: RaftNode(kernel, network, node_id, node_ids,
                               timings=self.timings, tracer=tracer,
-                              snapshot_threshold=snapshot_threshold)
+                              snapshot_threshold=snapshot_threshold,
+                              metrics=metrics)
             for node_id in node_ids
         }
 

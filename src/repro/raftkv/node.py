@@ -55,13 +55,25 @@ class RaftNode:
     MAX_BATCH = 64
 
     def __init__(self, kernel, network, node_id, peer_ids, timings=None,
-                 tracer=None, snapshot_threshold=500):
+                 tracer=None, snapshot_threshold=500, metrics=None):
         self.kernel = kernel
         self.network = network
         self.node_id = node_id
         self.peer_ids = [p for p in peer_ids if p != node_id]
         self.timings = timings or RaftTimings()
         self.tracer = tracer
+        if metrics is not None:
+            self._m_elections = metrics.counter(
+                "raft_leader_elections_total", ("node",),
+                help="Times this node won a leader election")
+            self._m_commit_dur = metrics.histogram(
+                "raft_commit_duration_seconds", ("node",),
+                help="Leader-side propose-to-commit latency")
+            self._m_applied = metrics.counter(
+                "raft_applied_entries_total", ("node",),
+                help="Log entries applied to the state machine")
+        else:
+            self._m_elections = self._m_commit_dur = self._m_applied = None
         # Compact the log once this many entries have been applied
         # beyond the last snapshot; 0 disables compaction.
         self.snapshot_threshold = snapshot_threshold
@@ -180,6 +192,8 @@ class RaftNode:
         self._next_index = {p: self.log.last_index + 1 for p in self.peer_ids}
         self._match_index = {p: 0 for p in self.peer_ids}
         self._trace("elected", term=self.current_term)
+        if self._m_elections is not None:
+            self._m_elections.labels(node=self.node_id).inc()
         # Barrier no-op: lets this term commit entries from prior terms
         # (Raft §5.4.2) without waiting for a client write.
         self.log.append(self.current_term, {"op": "noop"})
@@ -301,12 +315,16 @@ class RaftNode:
     def _on_propose(self, command):
         if not self.is_leader:
             raise NotLeader(self.node_id, self.leader_id)
+        proposed = self.kernel.now
         index = self.log.append(self.current_term, command)
         waiter = self.kernel.event(name=f"commit@{index}")
         self._waiters[index] = (self.current_term, waiter)
         self._poke_replicators()
         self._advance_commit()  # single-node clusters commit immediately
         result = yield waiter
+        if self._m_commit_dur is not None:
+            self._m_commit_dur.labels(node=self.node_id).observe(
+                self.kernel.now - proposed)
         return result
 
     def _on_read(self, request):
@@ -446,6 +464,8 @@ class RaftNode:
             self.last_applied += 1
             entry = self.log.entry_at(self.last_applied)
             result = self.state_machine.apply(entry.command)
+            if self._m_applied is not None:
+                self._m_applied.labels(node=self.node_id).inc()
             waiter = self._waiters.pop(self.last_applied, None)
             if waiter is not None:
                 term, event = waiter

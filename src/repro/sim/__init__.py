@@ -14,7 +14,17 @@ from .kernel import Kernel
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .process import Process
 from .reconciler import Reconciler, WatchSource, WorkQueue
-from .tracing import TraceRecord, Tracer
+from .tracing import (
+    NULL_SPAN,
+    Span,
+    SpanContext,
+    TraceRecord,
+    Tracer,
+    extract_context,
+    inject_context,
+    render_critical_path,
+    render_span_tree,
+)
 
 __all__ = [
     "AllOf",
@@ -29,13 +39,20 @@ __all__ = [
     "Interrupt",
     "Kernel",
     "MetricsRegistry",
+    "NULL_SPAN",
     "Process",
     "ProcessKilled",
     "Reconciler",
     "SimError",
     "SimTimeout",
+    "Span",
+    "SpanContext",
     "TraceRecord",
     "Tracer",
     "WatchSource",
     "WorkQueue",
+    "extract_context",
+    "inject_context",
+    "render_critical_path",
+    "render_span_tree",
 ]

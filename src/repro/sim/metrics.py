@@ -1,19 +1,84 @@
-"""Lightweight metrics for simulated components.
+"""Labeled metrics for simulated components.
 
-Mirrors the shape of a Prometheus-style registry: named counters,
-gauges and histograms, labeled by component. Benchmarks read these to
-produce the paper's tables.
+Mirrors the shape of a Prometheus registry: named counter, gauge and
+histogram *families*, each optionally carrying a fixed label schema.
+An unlabeled family behaves exactly like a single metric (``inc``,
+``set``, ``observe`` act on its default child), so simple call sites
+stay simple; labeled families hand out children via ``labels(...)``.
+
+Metric names are static and validated at registration — dynamic
+dimensions (job ids, pod names, methods) belong in label values, never
+in names, or the series namespace becomes unbounded and unaggregable.
+Benchmarks read these to produce the paper's tables, and
+:meth:`MetricsRegistry.expose` renders the Prometheus text format the
+REST layer serves.
 """
 
 import math
+import re
 import statistics
 
+_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_.]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
 
-class Counter:
-    """Monotonically increasing count."""
+# Prometheus-style default buckets, in simulated seconds, widened at the
+# top because deploy/recovery intervals run into minutes.
+DEFAULT_BUCKETS = (0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+                   5.0, 10.0, 30.0, 60.0, 120.0, 300.0)
 
-    def __init__(self, name):
-        self.name = name
+
+def _check_name(name):
+    if not _NAME_RE.match(name):
+        raise ValueError(
+            f"invalid metric name {name!r}: names must be static "
+            "([a-zA-Z_][a-zA-Z0-9_.]*); put dynamic values in labels"
+        )
+    return name
+
+
+class _Family:
+    """Shared machinery: a named family of label-keyed children."""
+
+    def __init__(self, name, labelnames=(), help=""):
+        self.name = _check_name(name)
+        self.labelnames = tuple(labelnames)
+        self.help = help
+        for label in self.labelnames:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name {label!r}")
+        self._children = {}
+
+    def labels(self, **labelvalues):
+        """The child for one combination of label values."""
+        if set(labelvalues) != set(self.labelnames):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {self.labelnames}, "
+                f"got {tuple(sorted(labelvalues))}"
+            )
+        key = tuple(str(labelvalues[label]) for label in self.labelnames)
+        child = self._children.get(key)
+        if child is None:
+            child = self._new_child()
+            self._children[key] = child
+        return child
+
+    def _default(self):
+        if self.labelnames:
+            raise ValueError(
+                f"metric {self.name!r} is labeled {self.labelnames}; "
+                "use .labels(...)"
+            )
+        return self.labels()
+
+    def children(self):
+        """Sorted ``(labelvalues_tuple, child)`` pairs."""
+        return sorted(self._children.items())
+
+
+class _CounterChild:
+    __slots__ = ("value",)
+
+    def __init__(self):
         self.value = 0.0
 
     def inc(self, amount=1.0):
@@ -22,11 +87,24 @@ class Counter:
         self.value += amount
 
 
-class Gauge:
-    """A value that can go up and down."""
+class Counter(_Family):
+    """Monotonically increasing count."""
 
-    def __init__(self, name):
-        self.name = name
+    kind = "counter"
+    _new_child = _CounterChild
+
+    def inc(self, amount=1.0):
+        self._default().inc(amount)
+
+    @property
+    def value(self):
+        return self._default().value
+
+
+class _GaugeChild:
+    __slots__ = ("value",)
+
+    def __init__(self):
         self.value = 0.0
 
     def set(self, value):
@@ -39,28 +117,57 @@ class Gauge:
         self.value -= amount
 
 
-class Histogram:
-    """Records observations; exposes count/mean/percentiles.
+class Gauge(_Family):
+    """A value that can go up and down."""
 
-    Stores raw observations — simulations here record at most a few
-    hundred thousand samples, so exact percentiles are affordable and
-    simpler than bucketing.
+    kind = "gauge"
+    _new_child = _GaugeChild
+
+    def set(self, value):
+        self._default().set(value)
+
+    def inc(self, amount=1.0):
+        self._default().inc(amount)
+
+    def dec(self, amount=1.0):
+        self._default().dec(amount)
+
+    @property
+    def value(self):
+        return self._default().value
+
+
+class _HistogramChild:
+    """Raw observations plus cumulative bucket counts.
+
+    Simulations record at most a few hundred thousand samples, so the
+    raw list is affordable and gives exact percentiles; buckets exist
+    for the Prometheus exposition. The sort needed by ``percentile`` is
+    cached and invalidated on ``observe``, so repeated percentile reads
+    (snapshots, exposition) don't re-sort an unchanged sample set.
     """
 
-    def __init__(self, name):
-        self.name = name
+    __slots__ = ("buckets", "bucket_counts", "samples", "total", "_sorted")
+
+    def __init__(self, buckets=DEFAULT_BUCKETS):
+        self.buckets = tuple(buckets)
+        self.bucket_counts = [0] * (len(self.buckets) + 1)  # +Inf last
         self.samples = []
+        self.total = 0.0
+        self._sorted = None
 
     def observe(self, value):
         self.samples.append(value)
+        self.total += value
+        self._sorted = None
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+        self.bucket_counts[-1] += 1
 
     @property
     def count(self):
         return len(self.samples)
-
-    @property
-    def total(self):
-        return sum(self.samples)
 
     @property
     def mean(self):
@@ -76,55 +183,180 @@ class Histogram:
 
     def percentile(self, q):
         """Exact percentile ``q`` in [0, 100] by nearest-rank."""
-        if not self.samples:
-            return math.nan
         if not 0 <= q <= 100:
             raise ValueError(f"percentile out of range: {q}")
-        ordered = sorted(self.samples)
-        rank = max(1, math.ceil(q / 100.0 * len(ordered)))
-        return ordered[rank - 1]
+        if not self.samples:
+            return math.nan
+        if self._sorted is None:
+            self._sorted = sorted(self.samples)
+        rank = max(1, math.ceil(q / 100.0 * len(self._sorted)))
+        return self._sorted[rank - 1]
+
+
+class Histogram(_Family):
+    """Records observations; exposes count/mean/percentiles/buckets."""
+
+    kind = "histogram"
+
+    def __init__(self, name, labelnames=(), help="", buckets=DEFAULT_BUCKETS):
+        super().__init__(name, labelnames, help)
+        self.buckets = tuple(buckets)
+
+    def _new_child(self):
+        return _HistogramChild(self.buckets)
+
+    def observe(self, value):
+        self._default().observe(value)
+
+    def percentile(self, q):
+        return self._default().percentile(q)
+
+    @property
+    def count(self):
+        return self._default().count
+
+    @property
+    def total(self):
+        return self._default().total
+
+    @property
+    def mean(self):
+        return self._default().mean
+
+    @property
+    def minimum(self):
+        return self._default().minimum
+
+    @property
+    def maximum(self):
+        return self._default().maximum
+
+    @property
+    def samples(self):
+        return self._default().samples
+
+
+def _escape_label_value(value):
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value):
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels_text(labelnames, labelvalues, extra=()):
+    pairs = [f'{name}="{_escape_label_value(value)}"'
+             for name, value in zip(labelnames, labelvalues)]
+    pairs.extend(f'{name}="{_escape_label_value(value)}"'
+                 for name, value in extra)
+    return "{" + ",".join(pairs) + "}" if pairs else ""
 
 
 class MetricsRegistry:
-    """Namespace of metrics; one per simulation, shared by components."""
+    """Namespace of metric families; one per simulation, shared."""
 
     def __init__(self):
         self._metrics = {}
 
-    def counter(self, name):
-        return self._get(name, Counter)
+    def counter(self, name, labelnames=(), help=""):
+        return self._get(name, Counter, labelnames, help)
 
-    def gauge(self, name):
-        return self._get(name, Gauge)
+    def gauge(self, name, labelnames=(), help=""):
+        return self._get(name, Gauge, labelnames, help)
 
-    def histogram(self, name):
-        return self._get(name, Histogram)
+    def histogram(self, name, labelnames=(), help="", buckets=None):
+        metric = self._metrics.get(name)
+        if metric is None and buckets is not None:
+            metric = Histogram(name, labelnames, help, buckets=buckets)
+            self._metrics[name] = metric
+            return metric
+        return self._get(name, Histogram, labelnames, help)
 
-    def _get(self, name, kind):
+    def _get(self, name, kind, labelnames=(), help=""):
         metric = self._metrics.get(name)
         if metric is None:
-            metric = kind(name)
+            metric = kind(name, labelnames, help)
             self._metrics[name] = metric
-        elif not isinstance(metric, kind):
+            return metric
+        if not isinstance(metric, kind):
             raise TypeError(
                 f"metric {name!r} already registered as {type(metric).__name__}"
+            )
+        if tuple(labelnames) != metric.labelnames:
+            raise ValueError(
+                f"metric {name!r} already registered with labels "
+                f"{metric.labelnames}, not {tuple(labelnames)}"
             )
         return metric
 
     def names(self):
         return sorted(self._metrics)
 
+    def get(self, name):
+        return self._metrics.get(name)
+
     def snapshot(self):
-        """Plain-dict view of every metric, for reports and tests."""
+        """Plain-dict view of every metric, for reports and tests.
+
+        Unlabeled children key by bare name; labeled children key as
+        ``name{a="x",b="y"}``. Histogram entries carry count/mean/min/
+        max plus p50/p95/p99.
+        """
         out = {}
         for name, metric in sorted(self._metrics.items()):
-            if isinstance(metric, Histogram):
-                out[name] = {
-                    "count": metric.count,
-                    "mean": metric.mean,
-                    "min": metric.minimum,
-                    "max": metric.maximum,
-                }
-            else:
-                out[name] = metric.value
+            for labelvalues, child in metric.children():
+                key = name + _labels_text(metric.labelnames, labelvalues)
+                if metric.kind == "histogram":
+                    out[key] = {
+                        "count": child.count,
+                        "mean": child.mean,
+                        "min": child.minimum,
+                        "max": child.maximum,
+                        "p50": child.percentile(50),
+                        "p95": child.percentile(95),
+                        "p99": child.percentile(99),
+                    }
+                else:
+                    out[key] = child.value
         return out
+
+    def expose(self):
+        """Render every metric in the Prometheus text exposition format.
+
+        Dots in metric names (a legacy house style) become underscores,
+        since Prometheus names admit only ``[a-zA-Z0-9_:]``.
+        """
+        lines = []
+        for name, metric in sorted(self._metrics.items()):
+            exposed = name.replace(".", "_")
+            if metric.help:
+                lines.append(f"# HELP {exposed} {metric.help}")
+            lines.append(f"# TYPE {exposed} {metric.kind}")
+            for labelvalues, child in metric.children():
+                base = list(zip(metric.labelnames, labelvalues))
+                if metric.kind == "histogram":
+                    cumulative = 0
+                    for bound, in_bucket in zip(child.buckets,
+                                                child.bucket_counts):
+                        cumulative = in_bucket
+                        labels = _labels_text(
+                            (), (), extra=base + [("le", _format_value(bound))]
+                        )
+                        lines.append(f"{exposed}_bucket{labels} {cumulative}")
+                    labels = _labels_text((), (), extra=base + [("le", "+Inf")])
+                    lines.append(f"{exposed}_bucket{labels} {child.bucket_counts[-1]}")
+                    plain = _labels_text((), (), extra=base)
+                    lines.append(f"{exposed}_sum{plain} {_format_value(child.total)}")
+                    lines.append(f"{exposed}_count{plain} {child.count}")
+                else:
+                    labels = _labels_text((), (), extra=base)
+                    lines.append(f"{exposed}{labels} {_format_value(child.value)}")
+        return "\n".join(lines) + ("\n" if lines else "")

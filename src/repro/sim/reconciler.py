@@ -36,7 +36,8 @@ class WorkQueue:
     reconciles cleanly.
     """
 
-    def __init__(self, kernel, name="", backoff_base=0.1, backoff_max=5.0):
+    def __init__(self, kernel, name="", backoff_base=0.1, backoff_max=5.0,
+                 metrics=None):
         self._kernel = kernel
         self.name = name
         self.closed = False
@@ -51,25 +52,58 @@ class WorkQueue:
         self.adds = 0
         self.coalesced = 0
         self.dispatched = 0
+        self._enqueued_at = {}  # key -> enqueue time, for queue latency
+        # Kubernetes workqueue metric names, labeled by queue name.
+        if metrics is not None:
+            self._m_depth = metrics.gauge(
+                "workqueue_depth", ("name",),
+                help="Keys currently waiting in the work queue")
+            self._m_adds = metrics.counter(
+                "workqueue_adds_total", ("name",),
+                help="Keys added to the work queue (incl. coalesced)")
+            self._m_queue_dur = metrics.histogram(
+                "workqueue_queue_duration_seconds", ("name",),
+                help="Time keys wait in the queue before dispatch")
+            self._m_retries = metrics.counter(
+                "workqueue_retries_total", ("name",),
+                help="Keys requeued after a failed reconcile")
+        else:
+            self._m_depth = self._m_adds = None
+            self._m_queue_dur = self._m_retries = None
 
     def __len__(self):
         return len(self._ready)
+
+    def _set_depth(self):
+        if self._m_depth is not None:
+            self._m_depth.labels(name=self.name).set(len(self._ready))
 
     def add(self, key):
         """Enqueue ``key`` now; a duplicate of a queued key coalesces."""
         if self.closed:
             return
         self.adds += 1
+        if self._m_adds is not None:
+            self._m_adds.labels(name=self.name).inc()
         if key in self._queued:
             self.coalesced += 1
             return
         self._queued.add(key)
+        self._enqueued_at.setdefault(key, self._kernel.now)
         if self._getters:
             self.dispatched += 1
             self._queued.discard(key)
+            self._dispatch_metrics(key)
             self._getters.popleft().succeed(key)
         else:
             self._ready.append(key)
+            self._set_depth()
+
+    def _dispatch_metrics(self, key):
+        enqueued = self._enqueued_at.pop(key, None)
+        if self._m_queue_dur is not None and enqueued is not None:
+            self._m_queue_dur.labels(name=self.name).observe(
+                self._kernel.now - enqueued)
 
     def add_after(self, key, delay):
         """Enqueue ``key`` after ``delay`` seconds.
@@ -101,6 +135,8 @@ class WorkQueue:
         """Re-enqueue a failed key after its exponential backoff."""
         failures = self._failures.get(key, 0) + 1
         self._failures[key] = failures
+        if self._m_retries is not None:
+            self._m_retries.labels(name=self.name).inc()
         delay = min(self.backoff_base * (2 ** (failures - 1)), self.backoff_max)
         self.add_after(key, delay)
         return delay
@@ -117,6 +153,8 @@ class WorkQueue:
             self.dispatched += 1
             key = self._ready.popleft()
             self._queued.discard(key)
+            self._dispatch_metrics(key)
+            self._set_depth()
             event.succeed(key)
         elif self.closed:
             event.fail(ChannelClosed(f"work queue {self.name!r} closed"))
@@ -213,14 +251,25 @@ class Reconciler:
     """
 
     def __init__(self, kernel, name, reconcile, *, queue=None,
-                 resync_interval=0.0, rewatch_delay=0.2, tracer=None):
+                 resync_interval=0.0, rewatch_delay=0.2, tracer=None,
+                 metrics=None, key_context=None):
         self.kernel = kernel
         self.name = name
         self.reconcile = reconcile
-        self.queue = queue or WorkQueue(kernel, name=name)
+        self.queue = queue or WorkQueue(kernel, name=name, metrics=metrics)
         self.resync_interval = resync_interval
         self.rewatch_delay = rewatch_delay
         self.tracer = tracer
+        # key_context(key) -> SpanContext | None: lets the owner link a
+        # reconcile pass into the causal trace of the object it serves
+        # (e.g. map a job id key to the job's span context).
+        self.key_context = key_context
+        if metrics is not None:
+            self._m_work_dur = metrics.histogram(
+                "workqueue_work_duration_seconds", ("name",),
+                help="Time spent running reconcile(key)")
+        else:
+            self._m_work_dur = None
         self.sources = []
         self.static_keys = []
         self.rewatches = 0
@@ -356,23 +405,45 @@ class Reconciler:
             for source in self.sources:
                 yield from self._relist(source)
 
+    def _start_reconcile_span(self, key):
+        if self.tracer is None or not getattr(self.tracer, "span_tracing", False):
+            return None
+        parent = self.key_context(key) if self.key_context is not None else None
+        if parent is None:
+            return None  # don't root fresh traces for unlinked keys
+        return self.tracer.start_span(
+            f"{self.name}.reconcile", component=f"reconciler:{self.name}",
+            parent=parent, key=str(key))
+
     def _worker(self):
         while True:
             try:
                 key = yield self.queue.get()
             except ChannelClosed:
                 return
+            span = self._start_reconcile_span(key)
+            started = self.kernel.now
             try:
                 result = self.reconcile(key)
                 if hasattr(result, "send"):
                     result = yield from result
             except ProcessKilled:
+                if span is not None:
+                    span.end("killed")
                 raise
             except Exception as exc:
                 delay = self.queue.requeue(key)
                 self._trace("reconcile-error", key=key, error=repr(exc),
                             retry_in=delay)
+                if span is not None:
+                    span.set_attribute("error", repr(exc)).end("error")
             else:
                 self.queue.forget(key)
+                if span is not None:
+                    span.end("ok")
                 if isinstance(result, (int, float)) and result > 0:
                     self.queue.add_after(key, result)
+            finally:
+                if self._m_work_dur is not None:
+                    self._m_work_dur.labels(name=self.name).observe(
+                        self.kernel.now - started)

@@ -66,6 +66,27 @@ class TestJobTimeline:
         assert "elided" in text
         assert text.count("\n") <= 12
 
+    def test_elision_keeps_exact_head_and_tail(self):
+        entries = [(float(i), "c", f"event-{i}") for i in range(20)]
+        lines = render_timeline(entries, limit=7).splitlines()
+        # limit=7 -> first 3, one marker, last 4; 13 entries elided.
+        assert len(lines) == 8
+        shown = [line.split()[-1] for line in lines]
+        assert shown[:3] == ["event-0", "event-1", "event-2"]
+        assert shown[4:] == ["event-16", "event-17", "event-18", "event-19"]
+        assert "... 13 events elided ..." in lines[3]
+
+    def test_elision_limit_zero_shows_only_marker(self):
+        entries = [(float(i), "c", f"event-{i}") for i in range(5)]
+        lines = render_timeline(entries, limit=0).splitlines()
+        assert lines == [f"{'':>10}  ... 5 events elided ..."]
+
+    def test_no_elision_at_or_under_limit(self):
+        entries = [(float(i), "c", f"event-{i}") for i in range(5)]
+        assert "elided" not in render_timeline(entries, limit=5)
+        assert "elided" not in render_timeline(entries)
+        assert len(render_timeline(entries, limit=5).splitlines()) == 5
+
     def test_render_plain(self):
         platform, _kernel = make_platform()
         platform.tracer.emit("api", "component-ready", job="j")

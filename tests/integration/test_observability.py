@@ -48,3 +48,37 @@ class TestClusterMonitor:
 
         with pytest.raises(ValueError):
             ClusterMonitor(platform, interval=0)
+
+    def test_samples_published_to_registry(self, platform, client):
+        monitor = platform.monitor(interval=5.0)
+        platform.run_process(client.run_to_completion(manifest()), limit=50_000)
+        platform.run_for(10.0)
+        monitor.stop()
+
+        metrics = platform.metrics
+        assert metrics.get("cluster_gpus_total").value == 8  # 2 nodes x 4
+        # The job is done: its GPU freed, the count written back to 0
+        # (not stuck at its peak).
+        assert metrics.get("cluster_gpus_allocated").value == 0
+        assert metrics.get("cluster_nodes").value >= 2
+        jobs = metrics.get("cluster_jobs")
+        assert jobs.labels(status="COMPLETED").value == 1
+        # Gauges reach the exposition the REST endpoint serves.
+        assert 'cluster_jobs{status="COMPLETED"} 1' in metrics.expose()
+
+    def test_transient_label_values_reset_to_zero(self, platform):
+        from repro.core import ClusterMonitor
+
+        monitor = ClusterMonitor(platform, interval=1.0)
+        capacity = {"gpus_total": 8, "gpus_allocated": 2, "nodes": 2}
+        monitor._publish(capacity, {"Pending": 2, "Running": 3},
+                         {"PROCESSING": 1})
+        monitor._publish(capacity, {"Running": 3}, {"COMPLETED": 1})
+        # A label value that disappears from a sample reads 0, not its
+        # last nonzero count.
+        pods = platform.metrics.get("cluster_pods")
+        assert pods.labels(phase="Pending").value == 0
+        assert pods.labels(phase="Running").value == 3
+        jobs = platform.metrics.get("cluster_jobs")
+        assert jobs.labels(status="PROCESSING").value == 0
+        assert jobs.labels(status="COMPLETED").value == 1

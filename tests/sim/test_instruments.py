@@ -74,6 +74,115 @@ class TestMetrics:
         assert snap["b"]["count"] == 1
         assert registry.names() == ["a", "b"]
 
+    def test_snapshot_includes_percentiles(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat")
+        for value in range(1, 101):
+            hist.observe(float(value))
+        snap = registry.snapshot()["lat"]
+        assert snap["p50"] == 50.0
+        assert snap["p95"] == 95.0
+        assert snap["p99"] == 99.0
+
+    def test_percentile_cache_invalidated_on_observe(self):
+        hist = MetricsRegistry().histogram("h")
+        hist.observe(10.0)
+        assert hist.percentile(50) == 10.0
+        assert hist.percentile(99) == 10.0  # served from the cached sort
+        hist.observe(1.0)  # must invalidate the cache
+        assert hist.percentile(50) == 1.0
+        assert hist.percentile(100) == 10.0
+
+    def test_dynamic_name_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("logs.{job}.lines")
+
+
+class TestLabeledMetrics:
+    def test_labeled_children_are_independent(self):
+        registry = MetricsRegistry()
+        calls = registry.counter("rpc_calls_total", ("method", "code"))
+        calls.labels(method="submit", code="ok").inc()
+        calls.labels(method="submit", code="ok").inc()
+        calls.labels(method="halt", code="error").inc()
+        assert calls.labels(method="submit", code="ok").value == 2
+        assert calls.labels(method="halt", code="error").value == 1
+
+    def test_label_set_must_match_schema(self):
+        registry = MetricsRegistry()
+        calls = registry.counter("c", ("method",))
+        with pytest.raises(ValueError):
+            calls.labels(verb="submit")
+        with pytest.raises(ValueError):
+            calls.labels(method="x", extra="y")
+        with pytest.raises(ValueError):
+            calls.inc()  # labeled family has no default child
+
+    def test_labelnames_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("c", ("method",))
+        with pytest.raises(ValueError):
+            registry.counter("c", ("verb",))
+
+    def test_invalid_label_name_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("c", ("bad-label",))
+
+    def test_snapshot_keys_carry_labels(self):
+        registry = MetricsRegistry()
+        registry.gauge("depth", ("name",)).labels(name="q1").set(3)
+        snap = registry.snapshot()
+        assert snap['depth{name="q1"}'] == 3
+
+    def test_labeled_histogram(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("dur", ("op",))
+        hist.labels(op="read").observe(1.0)
+        hist.labels(op="read").observe(3.0)
+        hist.labels(op="write").observe(10.0)
+        assert hist.labels(op="read").count == 2
+        assert hist.labels(op="read").mean == 2.0
+        assert hist.labels(op="write").percentile(50) == 10.0
+
+
+class TestExposition:
+    def test_counter_and_gauge_lines(self):
+        registry = MetricsRegistry()
+        registry.counter("reqs_total", ("code",),
+                         help="Requests").labels(code="ok").inc(3)
+        registry.gauge("inflight").set(2)
+        text = registry.expose()
+        assert "# HELP reqs_total Requests" in text
+        assert "# TYPE reqs_total counter" in text
+        assert 'reqs_total{code="ok"} 3' in text
+        assert "# TYPE inflight gauge" in text
+        assert "inflight 2" in text.splitlines()
+        assert text.endswith("\n")
+
+    def test_histogram_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", buckets=(1.0, 5.0))
+        for value in (0.5, 0.7, 3.0, 100.0):
+            hist.observe(value)
+        lines = registry.expose().splitlines()
+        assert 'lat_bucket{le="1"} 2' in lines
+        assert 'lat_bucket{le="5"} 3' in lines
+        assert 'lat_bucket{le="+Inf"} 4' in lines
+        assert "lat_sum 104.2" in lines
+        assert "lat_count 4" in lines
+
+    def test_dotted_names_exposed_with_underscores(self):
+        registry = MetricsRegistry()
+        registry.counter("lcm.deploys").inc()
+        text = registry.expose()
+        assert "lcm_deploys 1" in text.splitlines()
+        assert "lcm.deploys" not in text
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c", ("msg",)).labels(msg='a"b\\c\nd').inc()
+        assert 'c{msg="a\\"b\\\\c\\nd"} 1' in registry.expose()
+
 
 class TestTracer:
     def test_records_time_and_fields(self, kernel):
@@ -137,6 +246,32 @@ class TestTracer:
         durations = tracer.intervals("start", "end", component="k",
                                      key=lambda r: r.fields["id"])
         assert durations == [5.0, 4.0]
+
+    def test_intervals_unkeyed_interleaved(self, kernel):
+        # Without a key, ends pair FIFO with the earliest unmatched
+        # start, so interleaved records yield every interval instead of
+        # silently dropping ends.
+        tracer = Tracer(kernel)
+
+        def proc():
+            tracer.emit("k", "start")        # t=0
+            yield kernel.sleep(2.0)
+            tracer.emit("k", "start")        # t=2
+            yield kernel.sleep(1.0)
+            tracer.emit("k", "end")          # t=3 -> pairs with t=0
+            yield kernel.sleep(4.0)
+            tracer.emit("k", "end")          # t=7 -> pairs with t=2
+
+        kernel.spawn(proc())
+        kernel.run()
+        assert tracer.intervals("start", "end", component="k") == [3.0, 5.0]
+
+    def test_intervals_unkeyed_ignores_unmatched_end(self, kernel):
+        tracer = Tracer(kernel)
+        tracer.emit("k", "end")
+        tracer.emit("k", "start")
+        tracer.emit("k", "end")
+        assert tracer.intervals("start", "end", component="k") == [0.0]
 
 
 class TestFaultInjector:
