@@ -16,5 +16,8 @@ fi
 echo "== metric-name lint =="
 python scripts/lint_metric_names.py
 
+echo "== event-reason lint =="
+python scripts/lint_event_reasons.py
+
 echo "== pytest (tier 1) =="
 PYTHONPATH=src python -m pytest -q "$@"

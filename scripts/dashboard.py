@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Run a job, inject a crash, and print the monitoring dashboard.
+
+The demo drives the full observability pipeline: the scraper samples
+``up{component=...}`` and the platform metrics into the time-series
+store, the injected API crash dips ``up{component=api}`` and walks the
+``ApiDown`` alert through pending -> firing -> resolved, and the event
+log records the whole episode. The dashboard then renders component
+sparklines, key series, active alerts and the recent events.
+
+Usage::
+
+    PYTHONPATH=src python scripts/dashboard.py [--steps N] [--no-crash]
+"""
+
+import argparse
+
+from repro.bench import bench_manifest, build_platform
+from repro.core import ComponentCrasher
+from repro.monitoring import render_dashboard
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--steps", type=int, default=60,
+                        help="training steps for the demo job")
+    parser.add_argument("--no-crash", action="store_true",
+                        help="skip the injected API crash")
+    args = parser.parse_args(argv)
+
+    platform = build_platform("k80", gpus_per_node=4)
+    manifest = bench_manifest("vgg16", "tensorflow", gpus=1, gpu_type="k80",
+                              steps=args.steps, learners=1)
+    client = platform.client("dashboard-demo")
+
+    job_id = platform.run_process(client.submit(manifest))
+    platform.run_for(10.0)  # deploy + start training
+
+    if not args.no_crash:
+        crasher = ComponentCrasher(platform)
+        when, pod = crasher.crash_api()
+        print(f"injected API crash at t={when:.1f}s (pod {pod})\n")
+        platform.run_for(15.0)  # outage detected, alert fires, pod recovers
+
+    doc = platform.run_process(
+        client.wait_for_status(job_id, timeout=10_000), limit=5_000_000)
+    print(f"job {job_id} finished: {doc['status']}\n")
+    print(render_dashboard(platform))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

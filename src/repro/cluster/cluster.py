@@ -25,14 +25,15 @@ class KubernetesCluster:
     """The platform layer: nodes, control plane, image registry."""
 
     def __init__(self, kernel, nfs_server, tracer=None, kubelet_config=None,
-                 eviction_timeout=3.0, metrics=None):
+                 eviction_timeout=3.0, metrics=None, events=None):
         self.kernel = kernel
         self.nfs = nfs_server
         self.tracer = tracer
+        self.events = events
         self.api = ApiServer(kernel, tracer=tracer)
         self.registry = ImageRegistry(kernel)
         self.scheduler = Scheduler(kernel, self.api, tracer=tracer,
-                                   metrics=metrics)
+                                   metrics=metrics, events=events)
         self.kubelet_config = kubelet_config or KubeletConfig()
         self.controllers = [
             JobController(kernel, self.api),

@@ -262,6 +262,13 @@ class Kubelet:
             status.restart_count += 1
             self.api.record_event("Pod", pod.metadata.name, "ContainerRestart",
                                   f"{container.name} exited {exit_code}")
+            if self.cluster.events is not None and exit_code != 0:
+                # Crash-looping containers deduplicate into one record
+                # with a rising count (the helper/learner exit path).
+                self.cluster.events.emit_event(
+                    "Warning", "ContainerRestarted", "Pod", pod.metadata.name,
+                    message=f"{container.name} exited {exit_code}",
+                    job=pod.metadata.labels.get("dlaas-job"))
             if exit_code == 0 and policy == RESTART_ALWAYS:
                 yield self.kernel.sleep(self.config.restart_backoff_base)
                 backoff = self.config.restart_backoff_base

@@ -14,11 +14,12 @@ class Scheduler:
     STRATEGIES = ("binpack", "spread")
 
     def __init__(self, kernel, api, interval=0.1, tracer=None, strategy="binpack",
-                 preemption=True, metrics=None):
+                 preemption=True, metrics=None, events=None):
         if strategy not in self.STRATEGIES:
             raise ValueError(f"unknown strategy {strategy!r}")
         self.kernel = kernel
         self.api = api
+        self.events = events
         self.interval = interval
         self.tracer = tracer
         self.strategy = strategy
@@ -110,6 +111,12 @@ class Scheduler:
                     "Pod", pods[0].metadata.name, "FailedScheduling",
                     f"gang {pods[0].spec.gang!r} needs {len(pods)} slots together",
                 )
+                if self.events is not None:
+                    self.events.emit_event(
+                        "Warning", "Unschedulable", "Pod", pods[0].metadata.name,
+                        message=f"gang {pods[0].spec.gang!r} needs "
+                                f"{len(pods)} slots together",
+                        job=pods[0].metadata.labels.get("dlaas-job"))
                 return 0
             node.allocate(pod.spec)
             placed.append((pod, node))
@@ -124,6 +131,11 @@ class Scheduler:
                 self._try_preempt(pod, nodes)
             self.api.record_event("Pod", pod.metadata.name, "FailedScheduling",
                                   "no node with sufficient resources")
+            if self.events is not None:
+                self.events.emit_event(
+                    "Warning", "Unschedulable", "Pod", pod.metadata.name,
+                    message="no node with sufficient resources",
+                    job=pod.metadata.labels.get("dlaas-job"))
             return 0
         node.allocate(pod.spec)
         self._commit_bind(pod, node)
@@ -167,6 +179,12 @@ class Scheduler:
             self.api.record_event("Pod", victim.metadata.name, "Preempted",
                                   f"by {pod.metadata.name} "
                                   f"(priority {pod.spec.priority})")
+            if self.events is not None:
+                self.events.emit_event(
+                    "Warning", "Preempted", "Pod", victim.metadata.name,
+                    message=f"evicted by {pod.metadata.name} "
+                            f"(priority {pod.spec.priority})",
+                    job=victim.metadata.labels.get("dlaas-job"))
             self.preemptions += 1
             if self._m_preempted is not None:
                 self._m_preempted.inc()

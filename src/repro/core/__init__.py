@@ -20,6 +20,7 @@ from .errors import (
     JobNotFound,
     RateLimited,
 )
+from .events import EVENT_NORMAL, EVENT_WARNING, EventRecorder, PlatformEvent
 from .faults import ComponentCrasher
 from .manifest import DataStoreRef, TrainingManifest
 from .observability import ClusterMonitor
@@ -56,6 +57,9 @@ __all__ = [
     "DlaasClient",
     "DlaasError",
     "DlaasPlatform",
+    "EVENT_NORMAL",
+    "EVENT_WARNING",
+    "EventRecorder",
     "FAILED",
     "HALTED",
     "IllegalTransition",
@@ -64,6 +68,7 @@ __all__ = [
     "Metering",
     "PROCESSING",
     "PlatformConfig",
+    "PlatformEvent",
     "QUEUED",
     "RateLimited",
     "RateLimiter",

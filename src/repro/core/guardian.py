@@ -47,6 +47,7 @@ from .states import (
     HALTED,
     PROCESSING,
     STORING,
+    TERMINAL_EVENT_FOR,
     is_terminal,
     validate_transition,
 )
@@ -178,24 +179,47 @@ class Guardian:
         )
         if leftovers:
             self.ctx.log(f"rolling back partial deployment ({len(leftovers)} resources)")
+            self.platform.metrics.counter("guardian_deploy_rollbacks_total").inc()
+            self.platform.events.emit_event(
+                "Warning", "DeployRollback", "Job", self.job_id,
+                message=f"rolling back {len(leftovers)} partially deployed resources",
+                job=self.job_id)
             yield from self._teardown()
             yield from self._await_rollback_complete()
 
         attempt = (yield from self.etcd.get(layout.guardian_attempt_key(self.job_id))) or 0
         attempt += 1
         yield from self.etcd.put(layout.guardian_attempt_key(self.job_id), attempt)
+        self.platform.metrics.counter("guardian_deploy_attempts_total").inc()
         if attempt > self.platform.config.max_deploy_attempts:
             self.ctx.log(f"deployment attempt {attempt} exceeds limit; job FAILED")
+            self.platform.events.emit_event(
+                "Warning", "DeployAttemptsExhausted", "Job", self.job_id,
+                message=f"attempt {attempt} exceeds limit "
+                        f"{self.platform.config.max_deploy_attempts}",
+                job=self.job_id)
             yield from self._set_status(FAILED,
                                         reason="deployment attempts exhausted")
+            # Deploy-exhausted jobs never reach _finish; report the
+            # terminal status here so the event log stays complete.
+            self.platform.events.emit_event(
+                "Warning", "JobFailed", "Job", self.job_id,
+                message="deployment attempts exhausted", job=self.job_id)
             yield from self._cleanup_etcd()
             return False
+        if attempt > 1:
+            self.platform.events.emit_event(
+                "Normal", "DeployRetry", "Job", self.job_id,
+                message=f"deployment attempt {attempt}", job=self.job_id)
 
         yield from self._set_status(DEPLOYING)
         yield from self._deploy()
         yield from self.etcd.put(layout.guardian_complete_key(self.job_id), True)
         self.platform.tracer.emit("guardian", "deployed", job=self.job_id,
                                   attempt=attempt)
+        self.platform.events.emit_event(
+            "Normal", "Deployed", "Job", self.job_id,
+            message=f"deployed on attempt {attempt}", job=self.job_id)
         return True
 
     def _await_rollback_complete(self):
@@ -446,6 +470,10 @@ class Guardian:
             self.platform.tracer.emit("guardian", "stall-restart",
                                       job=self.job_id, learner=ordinal,
                                       stalled_for=report.get("stalled_for"))
+            self.platform.events.emit_event(
+                "Warning", "LearnerStalled", "Pod", pod_name,
+                message=f"no progress for {report.get('stalled_for')}s; restarting",
+                job=self.job_id)
             self.ctx.log(f"restarted stalled learner-{ordinal}")
 
     def _aggregate(self, learner_reports, load_done, store_done):
@@ -496,6 +524,10 @@ class Guardian:
         teardown_span.end("ok")
         self.platform.tracer.emit("guardian", "job-finished", job=self.job_id,
                                   status=final_status)
+        event_type, reason = TERMINAL_EVENT_FOR[final_status]
+        self.platform.events.emit_event(
+            event_type, reason, "Job", self.job_id,
+            message=f"job reached {final_status}", job=self.job_id)
 
     def _record_gpu_seconds(self):
         """Meter GPU occupancy and record job-level training metrics."""

@@ -127,7 +127,21 @@ def make_controller_workload(platform, job_id, manifest):
                     yield from etcd.put(
                         layout.learner_status_key(job_id, ordinal), report
                     )
+                    previous = last_reported.get(ordinal)
                     last_reported[ordinal] = report
+                    status_now = report.get("status")
+                    if status_now != (previous or {}).get("status"):
+                        pod_name = layout.learner_pod_name(job_id, ordinal)
+                        if status_now == FAILED:
+                            platform.events.emit_event(
+                                "Warning", "LearnerFailed", "Pod", pod_name,
+                                message=f"exit code {report.get('exit_code')}",
+                                job=job_id)
+                        elif status_now == COMPLETED:
+                            platform.events.emit_event(
+                                "Normal", "LearnerCompleted", "Pod", pod_name,
+                                message=f"finished at step {report.get('step')}",
+                                job=job_id)
                 return
             # Helper statuses.
             path = f"/helper/{key}.status"
@@ -138,6 +152,15 @@ def make_controller_workload(platform, job_id, manifest):
                         layout.helper_status_key(job_id, key), value
                     )
                     last_reported[key] = value
+                    if value == HELPER_DONE and key == "load-data":
+                        platform.events.emit_event(
+                            "Normal", "DataStaged", "Job", job_id,
+                            message="training data staged onto NFS",
+                            job=job_id)
+                    elif value == HELPER_DONE and key == "store-results":
+                        platform.events.emit_event(
+                            "Normal", "ResultsStored", "Job", job_id,
+                            message="model and logs uploaded", job=job_id)
 
         reconciler = Reconciler(
             kernel, f"controller:{job_id}", reconcile,

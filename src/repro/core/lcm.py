@@ -110,6 +110,9 @@ class LcmService:
             self.kernel.now - start
         )
         self.platform.tracer.emit("lcm", "guardian-created", job=job_id)
+        self.platform.events.emit_event(
+            "Normal", "GuardianCreated", "Job", job_id,
+            message=f"guardian K8S job {name} created", job=job_id)
         span.end("ok")
         return True
 
@@ -196,3 +199,6 @@ class LcmService:
             pod.deletion_requested = True
             api.update(pod)
         api.delete("Job", job.metadata.name, job.metadata.namespace)
+        self.platform.events.emit_event(
+            "Normal", "GuardianCollected", "Job", dlaas_job,
+            message=f"guardian K8S job {name} garbage-collected", job=dlaas_job)

@@ -13,16 +13,25 @@ One object builds and wires every layer:
 
 from dataclasses import dataclass, field
 
-from ..cluster import ContainerSpec, Deployment, KubernetesCluster, PodSpec, PodTemplate, RESTART_ALWAYS, PodTemplate
+from ..cluster import (
+    ContainerSpec,
+    Deployment,
+    KubernetesCluster,
+    PodSpec,
+    PodTemplate,
+    RESTART_ALWAYS,
+)
 from ..docstore import MongoReplicaSet
 from ..frameworks import get_framework, get_model, FRAMEWORKS
 from ..grpcnet import LatencyModel, LoadBalancer, Network
+from ..monitoring import HealthRegistry, MonitoringStack, register_platform_probes
 from ..nfs import NfsServer
 from ..objectstore import ObjectStore
 from ..raftkv import EtcdCluster
 from ..sim import FaultInjector, Kernel, MetricsRegistry, Tracer
 from .auth import TokenRegistry
 from .client import DlaasClient
+from .events import EventRecorder
 from .services import make_api_workload, make_lcm_workload
 
 
@@ -87,6 +96,25 @@ class PlatformConfig:
     # metrics stay on — they are load-bearing for tests and benchmarks).
     span_tracing: bool = True
 
+    # Monitoring subsystem (scrape pipeline + health probes + SLO
+    # alerting). Collection is pure in-memory observation and event
+    # persistence bypasses the RPC fabric, so the simulated job
+    # timeline is bit-identical with monitoring on or off. ``for:``
+    # durations: service-level rules ride out a scrape hiccup;
+    # pod-level dips (learner/guardian restarts) last well under a
+    # second, so their rules are tighter.
+    monitoring: bool = True
+    scrape_interval: float = 1.0
+    alert_eval_interval: float = 1.0
+    event_flush_interval: float = 2.0
+    series_retention: float = 600.0
+    series_max_samples: int = 2048
+    alert_service_for: float = 1.0
+    alert_pod_for: float = 0.2
+    # Optional bearer token gating GET /metrics and GET /healthz
+    # (None = unauthenticated, the current behaviour).
+    metrics_auth: str = None
+
     # Fabric
     network_latency: float = 0.0008
     network_jitter: float = 0.0006
@@ -108,6 +136,10 @@ class DlaasPlatform:
         self.tracer = Tracer(self.kernel,
                              span_tracing=self.config.span_tracing)
         self.metrics = MetricsRegistry()
+        # The event recorder is always on: recording is pure in-memory
+        # bookkeeping, so it cannot perturb the timeline, and tests can
+        # assert on events regardless of the monitoring flag.
+        self.events = EventRecorder(self.kernel, metrics=self.metrics)
         self.faults = FaultInjector(self.kernel, tracer=self.tracer)
         self.network = Network(
             self.kernel,
@@ -116,18 +148,23 @@ class DlaasPlatform:
             tracer=None,
             metrics=self.metrics,
         )
-        self.nfs = NfsServer(self.kernel, metrics=self.metrics)
+        self.nfs = NfsServer(self.kernel, metrics=self.metrics,
+                             events=self.events)
         self.object_store = ObjectStore(self.kernel, metrics=self.metrics)
         self.k8s = KubernetesCluster(self.kernel, self.nfs, tracer=self.tracer,
-                                     metrics=self.metrics)
+                                     metrics=self.metrics, events=self.events)
         self.etcd = EtcdCluster(self.kernel, self.network,
                                 size=self.config.etcd_size,
-                                metrics=self.metrics)
+                                metrics=self.metrics, events=self.events)
         self.mongo = MongoReplicaSet(self.kernel, self.network,
-                                     size=self.config.mongo_size)
+                                     size=self.config.mongo_size,
+                                     events=self.events)
         self.tokens = TokenRegistry()
         self.api_balancer = LoadBalancer("dlaas-api")
         self.lcm_balancer = LoadBalancer("dlaas-lcm")
+        self.health = HealthRegistry()
+        register_platform_probes(self, self.health)
+        self.monitoring = MonitoringStack(self) if self.config.monitoring else None
         self._build_topology()
         self._register_images()
         self._started = False
@@ -183,6 +220,8 @@ class DlaasPlatform:
         self.mongo.start()
         self._create_indexes()
         self._deploy_core_services()
+        if self.monitoring is not None:
+            self.monitoring.start()
         if settle:
             self.kernel.run(until=self.kernel.now + 15.0)
         return self

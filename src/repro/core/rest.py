@@ -22,6 +22,9 @@ _ROUTES = (
     ("GET", re.compile(r"^/v1/models/(?P<job_id>[^/]+)$"), "status"),
     ("DELETE", re.compile(r"^/v1/models/(?P<job_id>[^/]+)$"), "halt"),
     ("GET", re.compile(r"^/v1/models/(?P<job_id>[^/]+)/logs$"), "logs"),
+    ("GET", re.compile(r"^/v1/models/(?P<job_id>[^/]+)/events$"), "job_events"),
+    ("GET", re.compile(r"^/jobs/(?P<job_id>[^/]+)/events$"), "job_events"),
+    ("GET", re.compile(r"^/events$"), "events"),
     ("GET", re.compile(r"^/v1/usage$"), "usage"),
 )
 
@@ -53,13 +56,24 @@ class RestGateway:
     def handle(self, request):
         method = request.get("method", "GET").upper()
         path = request.get("path", "/")
-        # Prometheus-style scrape endpoint: unauthenticated (the real
-        # platform exposes it on a cluster-internal port) and rendered
-        # as text, not JSON.
-        if method == "GET" and path == "/metrics":
-            return {"status": 200,
-                    "body": self.api_service.platform.metrics.expose(),
-                    "content_type": "text/plain; version=0.0.4"}
+        # Operational endpoints: unauthenticated by default (the real
+        # platform exposes them on a cluster-internal port), optionally
+        # gated by a shared bearer token (``PlatformConfig.metrics_auth``)
+        # when the port is reachable from outside the cluster.
+        if method == "GET" and path in ("/metrics", "/healthz"):
+            platform = self.api_service.platform
+            required = platform.config.metrics_auth
+            if required is not None:
+                supplied = self._bearer_token(request.get("headers") or {})
+                if supplied != required:
+                    return {"status": 401, "body": {"error": "unauthorized"}}
+            if path == "/metrics":
+                return {"status": 200,
+                        "body": platform.metrics.expose(),
+                        "content_type": "text/plain; version=0.0.4"}
+            health = platform.health.snapshot()
+            return {"status": 200 if health["status"] == "ok" else 503,
+                    "body": health}
         token = self._bearer_token(request.get("headers") or {})
         payload = {"token": token}
         payload.update(request.get("query") or {})

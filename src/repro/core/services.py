@@ -12,6 +12,18 @@ from .api import ApiService
 from .lcm import LcmService
 
 
+def _emit_exit_event(platform, ctx, component):
+    # Graceful scale-down triggers the stop event first; anything else
+    # reaching the finally block is a crash (killed pod, dead node).
+    crashed = not ctx.stop_event.triggered
+    platform.events.emit_event(
+        "Warning" if crashed else "Normal",
+        "ComponentCrashed" if crashed else "ComponentStopped",
+        "Pod", ctx.pod.metadata.name,
+        message=f"{component} endpoint "
+                + ("lost" if crashed else "deregistered"))
+
+
 def make_api_workload(platform):
     def workload(ctx):
         kernel = ctx.kernel
@@ -22,12 +34,16 @@ def make_api_workload(platform):
             service.server.start()
             platform.api_balancer.add(address)
             platform.tracer.emit("api", "component-ready", pod=ctx.pod.metadata.name)
+            platform.events.emit_event("Normal", "ComponentReady", "Pod",
+                                       ctx.pod.metadata.name,
+                                       message="api serving")
             yield ctx.stop_event
         finally:
             # Pod gone (gracefully or not): the endpoint controller
             # removes it from the service registry.
             platform.api_balancer.remove(address)
             service.server.stop()
+            _emit_exit_event(platform, ctx, "api")
         return 0
 
     return workload
@@ -46,6 +62,9 @@ def make_lcm_workload(platform):
             deploy = service.make_deploy_reconciler().start()
             gc = service.make_gc_reconciler().start()
             platform.tracer.emit("lcm", "component-ready", pod=ctx.pod.metadata.name)
+            platform.events.emit_event("Normal", "ComponentReady", "Pod",
+                                       ctx.pod.metadata.name,
+                                       message="lcm serving")
             yield ctx.stop_event
         except ProcessKilled:
             raise
@@ -59,6 +78,7 @@ def make_lcm_workload(platform):
                 deploy.stop()
             if gc is not None:
                 gc.stop()
+            _emit_exit_event(platform, ctx, "lcm")
         return 0
 
     return workload

@@ -56,6 +56,16 @@ def is_terminal(status):
     return status in TERMINAL_STATUSES
 
 
+# How each terminal status is reported to the platform event log: a
+# failed job is a Warning on the operator's dashboard, completion and
+# user-requested halts are routine.
+TERMINAL_EVENT_FOR = {
+    COMPLETED: ("Normal", "JobCompleted"),
+    FAILED: ("Warning", "JobFailed"),
+    HALTED: ("Normal", "JobHalted"),
+}
+
+
 def aggregate_learner_statuses(statuses):
     """Combine per-learner statuses into a job-level status (§III.f).
 

@@ -38,6 +38,10 @@ class MongoMember:
         if not self.alive:
             self.alive = True
             self.server.start()
+            if self.replica_set.events is not None:
+                self.replica_set.events.emit_event(
+                    "Normal", "MongoMemberUp", "MongoMember", self.member_id,
+                    message="member serving")
         return self
 
     def crash(self, lose_data=False):
@@ -45,6 +49,10 @@ class MongoMember:
         if self.alive:
             self.alive = False
             self.server.stop()
+            if self.replica_set.events is not None:
+                self.replica_set.events.emit_event(
+                    "Warning", "MongoMemberDown", "MongoMember", self.member_id,
+                    message="data lost" if lose_data else "member crashed")
         if lose_data:
             self.database = Database(self.member_id)
         return self
@@ -148,11 +156,13 @@ class MongoMember:
 class MongoReplicaSet:
     """A fixed-membership replica set with majority write concern."""
 
-    def __init__(self, kernel, network, size=3, prefix="mongo", service_time=0.0005):
+    def __init__(self, kernel, network, size=3, prefix="mongo",
+                 service_time=0.0005, events=None):
         if size < 1:
             raise ValueError("replica set size must be >= 1")
         self.kernel = kernel
         self.network = network
+        self.events = events
         self.members = {}
         for i in range(size):
             member_id = f"{prefix}-{i}"

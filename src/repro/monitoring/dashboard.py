@@ -1,0 +1,81 @@
+"""Text dashboard: scraped series + active alerts + recent events.
+
+The operator's single-pane view (the simulated Grafana): component
+``up`` sparklines over the retained window, key platform gauges,
+whatever alerts are pending/firing right now, and the tail of the
+platform event log. Pure rendering over the monitoring stack's state.
+"""
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values, width=40, maximum=None):
+    """Render values as a block-character strip, ``width`` cells wide."""
+    if not values:
+        return " " * width
+    step = max(1, len(values) // width)
+    top = maximum if maximum else max(max(values), 1e-12)
+    cells = []
+    for i in range(0, len(values), step):
+        chunk = values[i:i + step]
+        level = (sum(chunk) / len(chunk)) / top
+        cells.append(_BLOCKS[max(0, min(8, int(level * 8 + 0.5)))])
+    return "".join(cells[:width]).ljust(width)
+
+
+def render_dashboard(platform, width=40, events_tail=10):
+    """The full text dashboard for a platform with monitoring enabled."""
+    stack = platform.monitoring
+    if stack is None:
+        return "monitoring disabled (PlatformConfig(monitoring=False))"
+    now = platform.kernel.now
+    store = stack.store
+    lines = [f"== DLaaS monitoring dashboard @ t={now:.1f}s =="]
+
+    lines.append("")
+    lines.append("-- component health (up{component=...}) --")
+    up_series = store.series("up")
+    if not up_series:
+        lines.append("  (no scrapes yet)")
+    for series in up_series:
+        component = series.labels_dict.get("component", "?")
+        current = series.latest_value(now, staleness=3 * stack.scraper.interval)
+        state = "UP" if current == 1.0 else ("DOWN" if current == 0.0 else "STALE")
+        values = series.values()
+        lines.append(f"  {component:<10} {state:<5} [{sparkline(values, width, maximum=1.0)}]")
+
+    gauges = [name for name in ("cluster_gpus_allocated", "scheduler_pending_pods",
+                                "monitoring_series") if store.series(name)]
+    if gauges:
+        lines.append("")
+        lines.append("-- platform series --")
+        for name in gauges:
+            for series in store.series(name):
+                values = series.values()
+                latest = values[-1] if values else 0.0
+                lines.append(f"  {name:<26} {latest:>8g} [{sparkline(values, width)}]")
+
+    lines.append("")
+    lines.append("-- alerts --")
+    active = sorted(stack.engine.active.values(),
+                    key=lambda i: (i["rule"], i["labels"]))
+    if not active:
+        lines.append("  (none pending or firing)")
+    for instance in active:
+        labels = ",".join(f"{k}={v}" for k, v in instance["labels"]) or "-"
+        lines.append(
+            f"  {instance['state'].upper():<8} {instance['rule']:<24} "
+            f"{labels:<24} since t={instance['since']:.1f}s")
+
+    lines.append("")
+    lines.append(f"-- recent events (last {events_tail}) --")
+    events = sorted(platform.events.events(), key=lambda e: e.last_time)
+    if not events:
+        lines.append("  (none)")
+    for event in events[-events_tail:]:
+        count = f" x{event.count}" if event.count > 1 else ""
+        lines.append(
+            f"  [{event.last_time:8.2f}s] {event.type:<7} "
+            f"{event.reason:<24} {event.kind}/{event.name}{count} "
+            f"{event.message}")
+    return "\n".join(lines)

@@ -1,0 +1,101 @@
+"""Assembly of the monitoring subsystem for a DlaasPlatform.
+
+One object owning the series store, the scraper, the alert engine
+(loaded with the default rule pack) and the event flusher. Constructed
+by ``DlaasPlatform`` when ``PlatformConfig(monitoring=True)`` and
+started alongside the core services.
+
+Everything here observes without perturbing: scraping and rule
+evaluation are pure in-memory reads, and event persistence writes
+*directly* into the Mongo members' databases (the same path bootstrap
+index creation uses) rather than through the RPC fabric. An RPC would
+consume draws from the shared network-jitter RNG stream and shift
+every subsequent call's latency — the simulated job timeline must be
+bit-identical with monitoring on or off.
+"""
+
+from .alerts import AlertEngine, default_rule_pack
+from .scraper import MetricsScraper
+from ..sim.timeseries import TimeSeriesStore
+
+
+class EventFlusher:
+    """Periodically persists dirty platform events to the docstore."""
+
+    def __init__(self, kernel, recorder, replica_set, interval=1.0):
+        self.kernel = kernel
+        self.recorder = recorder
+        self.replica_set = replica_set
+        self.interval = interval
+        self.running = False
+        self._proc = None
+
+    def start(self):
+        if self.running:
+            return self
+        self.running = True
+        self._proc = self.kernel.spawn(self._loop(), name="event-flusher")
+        return self
+
+    def stop(self):
+        self.running = False
+        if self._proc is not None:
+            self._proc.kill("event flusher stopped")
+            self._proc = None
+        return self
+
+    def _loop(self):
+        while self.running:
+            self.flush_once()
+            yield self.kernel.sleep(self.interval)
+
+    def flush_once(self):
+        """Upsert every event touched since the last flush into each
+        alive member. A member that is down misses the write and
+        catches up through its restart initial sync."""
+        dirty = self.recorder.drain_dirty()
+        if not dirty:
+            return 0
+        for event in dirty:
+            doc = event.to_doc()
+            for member in self.replica_set.members.values():
+                if not member.alive:
+                    continue
+                member.database.collection("events").update_one(
+                    {"event_key": doc["event_key"]}, {"$set": dict(doc)},
+                    upsert=True)
+        return len(dirty)
+
+
+class MonitoringStack:
+    """Scraper + series store + alert engine + event flusher."""
+
+    def __init__(self, platform):
+        config = platform.config
+        self.platform = platform
+        self.store = TimeSeriesStore(retention=config.series_retention,
+                                     max_samples=config.series_max_samples)
+        self.scraper = MetricsScraper(
+            platform.kernel, self.store, interval=config.scrape_interval,
+            registry=platform.metrics, health=platform.health)
+        self.engine = AlertEngine(
+            platform.kernel, self.store, events=platform.events,
+            metrics=platform.metrics, interval=config.alert_eval_interval,
+            staleness=3.0 * config.scrape_interval)
+        for rule in default_rule_pack(config):
+            self.engine.add_rule(rule)
+        self.flusher = EventFlusher(
+            platform.kernel, platform.events, platform.mongo,
+            interval=config.event_flush_interval)
+
+    def start(self):
+        self.scraper.start()
+        self.engine.start()
+        self.flusher.start()
+        return self
+
+    def stop(self):
+        self.scraper.stop()
+        self.engine.stop()
+        self.flusher.stop()
+        return self

@@ -83,10 +83,11 @@ class Mount:
 class NfsServer:
     """Holds the volumes; hands out mounts."""
 
-    def __init__(self, kernel=None, metrics=None):
+    def __init__(self, kernel=None, metrics=None, events=None):
         self._clock = (lambda: kernel.now) if kernel is not None else (lambda: 0.0)
         self._volumes = {}
         self.available = True
+        self.events = events
         if metrics is not None:
             self._m_ops = metrics.counter(
                 "nfs_ops_total", ("op",), help="NFS operations by kind")
@@ -130,6 +131,12 @@ class NfsServer:
     def go_down(self):
         """Simulate an NFS outage; mounts raise until :meth:`come_up`."""
         self.available = False
+        if self.events is not None:
+            self.events.emit_event("Warning", "NfsOutage", "NfsServer", "nfs",
+                                   message="shared filesystem unavailable")
 
     def come_up(self):
         self.available = True
+        if self.events is not None:
+            self.events.emit_event("Normal", "NfsRestored", "NfsServer", "nfs",
+                                   message="shared filesystem back")

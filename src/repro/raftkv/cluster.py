@@ -13,7 +13,8 @@ class EtcdCluster:
     """N Raft nodes plus test/experiment conveniences."""
 
     def __init__(self, kernel, network, size=3, prefix="etcd", timings=None,
-                 tracer=None, snapshot_threshold=500, metrics=None):
+                 tracer=None, snapshot_threshold=500, metrics=None,
+                 events=None):
         if size < 1:
             raise ValueError("cluster size must be >= 1")
         self.kernel = kernel
@@ -24,7 +25,7 @@ class EtcdCluster:
             node_id: RaftNode(kernel, network, node_id, node_ids,
                               timings=self.timings, tracer=tracer,
                               snapshot_threshold=snapshot_threshold,
-                              metrics=metrics)
+                              metrics=metrics, events=events)
             for node_id in node_ids
         }
 

@@ -55,13 +55,15 @@ class RaftNode:
     MAX_BATCH = 64
 
     def __init__(self, kernel, network, node_id, peer_ids, timings=None,
-                 tracer=None, snapshot_threshold=500, metrics=None):
+                 tracer=None, snapshot_threshold=500, metrics=None,
+                 events=None):
         self.kernel = kernel
         self.network = network
         self.node_id = node_id
         self.peer_ids = [p for p in peer_ids if p != node_id]
         self.timings = timings or RaftTimings()
         self.tracer = tracer
+        self.events = events
         if metrics is not None:
             self._m_elections = metrics.counter(
                 "raft_leader_elections_total", ("node",),
@@ -194,6 +196,10 @@ class RaftNode:
         self._trace("elected", term=self.current_term)
         if self._m_elections is not None:
             self._m_elections.labels(node=self.node_id).inc()
+        if self.events is not None:
+            self.events.emit_event(
+                "Normal", "LeaderElected", "EtcdNode", self.node_id,
+                message=f"won election for term {self.current_term}")
         # Barrier no-op: lets this term commit entries from prior terms
         # (Raft §5.4.2) without waiting for a client write.
         self.log.append(self.current_term, {"op": "noop"})

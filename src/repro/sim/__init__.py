@@ -14,6 +14,7 @@ from .kernel import Kernel
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .process import Process
 from .reconciler import Reconciler, WatchSource, WorkQueue
+from .timeseries import TimeSeries, TimeSeriesStore
 from .tracing import (
     NULL_SPAN,
     Span,
@@ -47,6 +48,8 @@ __all__ = [
     "SimTimeout",
     "Span",
     "SpanContext",
+    "TimeSeries",
+    "TimeSeriesStore",
     "TraceRecord",
     "Tracer",
     "WatchSource",

@@ -192,6 +192,33 @@ class _HistogramChild:
         rank = max(1, math.ceil(q / 100.0 * len(self._sorted)))
         return self._sorted[rank - 1]
 
+    def bucket_percentile(self, q):
+        """Percentile estimated from the cumulative buckets alone.
+
+        The ``histogram_quantile`` estimate: linear interpolation
+        inside the first bucket whose cumulative count reaches the
+        target rank, O(#buckets) with no sort — cheap enough to call on
+        every scrape tick, unlike :meth:`percentile`, whose sort cache
+        is invalidated by every observation. Values landing in the
+        +Inf bucket clamp to the largest finite bound. ``None`` when
+        empty.
+        """
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile out of range: {q}")
+        total = self.bucket_counts[-1]
+        if total == 0:
+            return None
+        rank = max(1, math.ceil(q / 100.0 * total))
+        for index, bound in enumerate(self.buckets):
+            cumulative = self.bucket_counts[index]
+            if cumulative >= rank:
+                below = self.bucket_counts[index - 1] if index else 0
+                lower = self.buckets[index - 1] if index else 0.0
+                in_bucket = cumulative - below
+                fraction = (rank - below) / in_bucket
+                return lower + (bound - lower) * fraction
+        return self.buckets[-1]
+
 
 class Histogram(_Family):
     """Records observations; exposes count/mean/percentiles/buckets."""
@@ -237,7 +264,14 @@ class Histogram(_Family):
 
 
 def _escape_label_value(value):
+    # Prometheus text format: label values escape backslash, double
+    # quote and newline; anything else passes through verbatim.
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(text):
+    # HELP lines escape backslash and newline (quotes stay literal).
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
 
 
 def _format_value(value):
@@ -315,14 +349,18 @@ class MetricsRegistry:
             for labelvalues, child in metric.children():
                 key = name + _labels_text(metric.labelnames, labelvalues)
                 if metric.kind == "histogram":
+                    # A child with zero observations has no meaningful
+                    # statistics: report None, not NaN (which breaks
+                    # JSON serialization) and not a misleading 0.
+                    empty = child.count == 0
                     out[key] = {
                         "count": child.count,
-                        "mean": child.mean,
-                        "min": child.minimum,
-                        "max": child.maximum,
-                        "p50": child.percentile(50),
-                        "p95": child.percentile(95),
-                        "p99": child.percentile(99),
+                        "mean": None if empty else child.mean,
+                        "min": None if empty else child.minimum,
+                        "max": None if empty else child.maximum,
+                        "p50": None if empty else child.percentile(50),
+                        "p95": None if empty else child.percentile(95),
+                        "p99": None if empty else child.percentile(99),
                     }
                 else:
                     out[key] = child.value
@@ -338,7 +376,7 @@ class MetricsRegistry:
         for name, metric in sorted(self._metrics.items()):
             exposed = name.replace(".", "_")
             if metric.help:
-                lines.append(f"# HELP {exposed} {metric.help}")
+                lines.append(f"# HELP {exposed} {_escape_help(metric.help)}")
             lines.append(f"# TYPE {exposed} {metric.kind}")
             for labelvalues, child in metric.children():
                 base = list(zip(metric.labelnames, labelvalues))

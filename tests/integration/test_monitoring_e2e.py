@@ -1,0 +1,219 @@
+"""End-to-end monitoring: the paper's fault matrix through the full
+scrape -> series -> alert -> event pipeline, the non-perturbation
+guarantee (bit-identical job timeline with monitoring off), and the
+REST operational surface (/healthz, /events, metrics auth).
+"""
+
+import pytest
+
+from repro.core import ComponentCrasher
+from repro.core.rest import RestClient
+
+from .conftest import (
+    make_platform,
+    manifest,
+    submit_and_wait_running,
+    wait_terminal,
+)
+
+# Tight monitoring cadence so detection latency, not scrape cadence,
+# dominates each scenario's runtime.
+FAST = dict(scrape_interval=0.05, alert_eval_interval=0.05,
+            event_flush_interval=0.5)
+
+
+def assert_fault_detected(platform, component, rule, crash_time):
+    """The acceptance criteria's three-part check for one injected fault:
+    an ``up`` dip in scraped history, the alert walking
+    pending -> firing -> resolved, and the Warning/resolution events."""
+    series = platform.monitoring.store.get("up", {"component": component})
+    assert series is not None, f"no up series for {component}"
+    window = series.window(crash_time, platform.kernel.now)
+    assert any(v == 0.0 for _, v in window), f"no up dip for {component}"
+    assert series.latest_value() == 1.0, f"{component} never recovered"
+
+    transitions = platform.monitoring.engine.transitions(rule)
+    for hop in (("inactive", "pending"), ("pending", "firing"),
+                ("firing", "resolved")):
+        assert hop in transitions, (rule, hop, transitions)
+
+    warnings = platform.events.warnings(reason=rule)
+    assert warnings and warnings[0].kind == "Component"
+    assert warnings[0].name == component
+    assert platform.events.events(reason="AlertResolved", name=component)
+
+
+def non_leader_etcd_node(platform):
+    leader = platform.etcd.leader()
+    return next(node_id for node_id in platform.etcd.node_ids
+                if node_id != leader.node_id)
+
+
+class TestFaultMatrix:
+    """One test per paper-evaluated crash (Fig. 4 plus an etcd member)."""
+
+    def test_api_pod_crash_detected(self):
+        platform = make_platform(**FAST)
+        when, pod = ComponentCrasher(platform).crash_api()
+        platform.run_for(15.0)
+        assert_fault_detected(platform, "api", "ApiDown", when)
+        # The dying pod itself reported the crash on the way down.
+        assert platform.events.warnings(reason="ComponentCrashed", name=pod)
+
+    def test_lcm_pod_crash_detected(self):
+        platform = make_platform(**FAST)
+        when, pod = ComponentCrasher(platform).crash_lcm()
+        platform.run_for(15.0)
+        assert_fault_detected(platform, "lcm", "LcmDown", when)
+        assert platform.events.warnings(reason="ComponentCrashed", name=pod)
+
+    def test_guardian_crash_detected(self):
+        platform = make_platform(**FAST)
+        client = platform.client("team-a")
+        job_id = submit_and_wait_running(platform, client,
+                                         manifest(target_steps=3000))
+        when, _pod = ComponentCrasher(platform).crash_guardian(job_id)
+        platform.run_for(12.0)
+        assert_fault_detected(platform, "guardian", "GuardianDown", when)
+
+    def test_helper_crash_detected(self):
+        platform = make_platform(**FAST)
+        client = platform.client("team-a")
+        job_id = submit_and_wait_running(platform, client,
+                                         manifest(target_steps=3000))
+        when, _pod = ComponentCrasher(platform).crash_helper(job_id)
+        platform.run_for(12.0)
+        assert_fault_detected(platform, "helper", "HelperDown", when)
+
+    def test_learner_crash_detected(self):
+        platform = make_platform(**FAST)
+        client = platform.client("team-a")
+        job_id = submit_and_wait_running(platform, client,
+                                         manifest(target_steps=3000))
+        when, _pod = ComponentCrasher(platform).crash_learner(job_id)
+        platform.run_for(12.0)
+        assert_fault_detected(platform, "learner", "LearnerDown", when)
+
+    def test_single_etcd_node_crash_detected(self):
+        platform = make_platform(**FAST)
+        victim = non_leader_etcd_node(platform)
+        when = platform.kernel.now
+        platform.etcd.crash(victim)
+        platform.run_for(5.0)
+        # Quorum holds (the cluster is still live) but readiness is
+        # degraded, so the alert fires while the member is down.
+        assert platform.monitoring.engine.firing("EtcdDegraded")
+        assert platform.health.snapshot()["components"]["etcd"]["status"] \
+            == "degraded"
+        platform.etcd.restart(victim)
+        platform.run_for(8.0)
+        assert_fault_detected(platform, "etcd", "EtcdDegraded", when)
+
+
+class TestMonitoringDoesNotPerturb:
+    """Scraping, probing, and alerting must not shift the simulation:
+    the job timeline is bit-identical with monitoring on or off."""
+
+    @staticmethod
+    def _timeline(monitoring):
+        platform = make_platform(monitoring=monitoring)
+        client = platform.client("team-a")
+        job_id = submit_and_wait_running(platform, client,
+                                         manifest(target_steps=120))
+        ComponentCrasher(platform).crash_learner(job_id)
+        doc = wait_terminal(platform, client, job_id)
+        return (doc["status"], doc["status_history"], doc["completed_at"],
+                platform.kernel.now)
+
+    def test_job_timeline_bit_identical(self):
+        with_monitoring = self._timeline(monitoring=True)
+        without_monitoring = self._timeline(monitoring=False)
+        assert with_monitoring == without_monitoring
+        assert with_monitoring[0] == "COMPLETED"
+
+    def test_monitoring_disabled_skips_stack_not_events(self):
+        platform = make_platform(monitoring=False)
+        assert platform.monitoring is None
+        # The in-memory recorder stays on (it cannot perturb), so the
+        # event log is available even without the scrape pipeline.
+        assert platform.events.events(reason="ComponentReady")
+
+
+class TestRestSurface:
+    def test_healthz_ok_then_degraded(self):
+        platform = make_platform()
+        rest = RestClient(platform, token="")
+        response = platform.run_process(rest.get("/healthz"), limit=10_000)
+        assert response["status"] == 200
+        body = response["body"]
+        assert body["status"] == "ok"
+        for component in ("api", "lcm", "etcd", "mongo", "nfs"):
+            assert body["components"][component]["status"] == "ok"
+
+        platform.etcd.crash(non_leader_etcd_node(platform))
+        response = platform.run_process(rest.get("/healthz"), limit=10_000)
+        assert response["status"] == 503
+        assert response["body"]["status"] == "degraded"
+        assert response["body"]["components"]["etcd"]["status"] == "degraded"
+
+    def test_events_endpoints_and_tenancy(self):
+        platform = make_platform(**FAST)
+        client = platform.client("team-a")
+        job_id = submit_and_wait_running(platform, client, manifest())
+        doc = wait_terminal(platform, client, job_id)
+        assert doc["status"] == "COMPLETED"
+        platform.run_for(2.0)  # let the flusher persist the tail
+
+        rest = RestClient(platform, client.token)
+        response = platform.run_process(rest.get("/events"), limit=10_000)
+        assert response["status"] == 200
+        reasons = {event["reason"] for event in response["body"]}
+        assert {"GuardianCreated", "Deployed", "JobCompleted"} <= reasons
+        assert all("event_key" not in event for event in response["body"])
+
+        for path in (f"/jobs/{job_id}/events", f"/v1/models/{job_id}/events"):
+            response = platform.run_process(rest.get(path), limit=10_000)
+            assert response["status"] == 200
+            events = response["body"]
+            assert events and all(e["job"] == job_id for e in events)
+            assert any(e["reason"] == "JobCompleted" for e in events)
+
+        # Reason filtering on the firehose endpoint.
+        response = platform.run_process(
+            rest.get("/events", query={"reason": "Deployed"}), limit=10_000)
+        assert {e["reason"] for e in response["body"]} == {"Deployed"}
+
+        # Another tenant cannot read this job's events.
+        stranger = RestClient(platform, platform.tokens.create_tenant("team-b"))
+        response = platform.run_process(
+            stranger.get(f"/jobs/{job_id}/events"), limit=10_000)
+        assert response["status"] == 404
+
+    def test_metrics_auth_off_by_default(self):
+        platform = make_platform()
+        rest = RestClient(platform, token="")
+        for path in ("/metrics", "/healthz"):
+            response = platform.run_process(rest.get(path), limit=10_000)
+            assert response["status"] == 200, path
+        metrics_response = platform.run_process(rest.get("/metrics"),
+                                                limit=10_000)
+        assert "platform_events_total" in metrics_response["body"]
+
+    def test_metrics_auth_gates_operational_endpoints(self):
+        platform = make_platform(metrics_auth="scrape-secret")
+        anonymous = RestClient(platform, token="")
+        wrong = RestClient(platform, token="not-it")
+        operator = RestClient(platform, token="scrape-secret")
+        for path in ("/metrics", "/healthz"):
+            for rejected in (anonymous, wrong):
+                response = platform.run_process(rejected.get(path),
+                                                limit=10_000)
+                assert response["status"] == 401, path
+            response = platform.run_process(operator.get(path), limit=10_000)
+            assert response["status"] == 200, path
+        # Tenant routes still use tenant tokens, unaffected by the gate.
+        client = platform.client("team-a")
+        tenant_rest = RestClient(platform, client.token)
+        response = platform.run_process(tenant_rest.get("/v1/models"),
+                                        limit=10_000)
+        assert response["status"] == 200
