@@ -1,4 +1,4 @@
-.PHONY: check test lint bench
+.PHONY: check test lint bench perf profile
 
 check:
 	scripts/check.sh
@@ -11,3 +11,9 @@ lint:
 
 bench:
 	PYTHONPATH=src python -m pytest -q benchmarks/bench_fig4_recovery.py benchmarks/bench_detection_latency.py
+
+perf:
+	PYTHONPATH=src python benchmarks/bench_perf.py
+
+profile:
+	PYTHONPATH=src python scripts/profile.py

@@ -1,0 +1,201 @@
+"""Wall-clock perf gate for the simulator fast path.
+
+Runs the fixed 24-job scalability scenario twice — once on the fast
+path (indexed docstore planner, cancellable timers, copy-light reads)
+and once with every optimization switched off via
+``PlatformConfig(sim_fast_path=False)`` — and verifies three things:
+
+1. **Determinism**: both runs produce bit-identical timelines (the
+   full trace-record sequence, every job's status history, and the
+   final simulated clock).
+2. **Speedup**: the fast path processes kernel events at >= 2x the
+   wall-clock rate of the committed pre-optimization baseline
+   (``SEED_BASELINE``, measured on the seed tree with the identical
+   scenario).
+3. **Regression gate** (``--check``): a small smoke scenario must not
+   regress more than 25% against the wall time committed in
+   ``BENCH_perf.json``.
+
+Invoke directly for the full measurement (writes ``BENCH_perf.json``
+at the repo root)::
+
+    PYTHONPATH=src python benchmarks/bench_perf.py
+
+or as the CI smoke gate::
+
+    PYTHONPATH=src python benchmarks/bench_perf.py --check
+"""
+
+import argparse
+import hashlib
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.bench import bench_manifest, build_platform
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_perf.json"
+
+SCENARIO = {"jobs": 24, "seed": 2, "steps": 60, "gpus_per_node": 4,
+            "gpu_nodes": 8}
+SMOKE = {"jobs": 6, "seed": 2, "steps": 30, "gpus_per_node": 4,
+         "gpu_nodes": 4}
+
+# The pre-optimization tree (commit 4155122) driving the identical
+# 24-job scenario on the reference machine, events counted by wrapping
+# Kernel.step. This is the "before" column of EXPERIMENTS.md and the
+# denominator of the speedup gate; refresh it if the scenario changes.
+SEED_BASELINE = {
+    "commit": "4155122",
+    "wall_s": 13.53,
+    "sim_s": 228.093,
+    "events_processed": 938398,
+    "events_per_sec": 69358.2,
+    "jobs_per_sec": 1.774,
+}
+
+SPEEDUP_TARGET = 2.0
+CHECK_TOLERANCE = 1.25  # --check fails above 125% of the committed wall
+
+
+def timeline_digest(platform, docs):
+    """A stable fingerprint of everything the simulation decided."""
+    trace = [(round(r.time, 9), r.component, r.kind) for r in
+             platform.tracer.records]
+    histories = [
+        [(h["status"], round(h["time"], 9)) for h in doc["status_history"]]
+        for doc in docs
+    ]
+    blob = repr((trace, histories, round(platform.kernel.now, 9)))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def run_scenario(scenario, fast=True):
+    """One measured run; returns wall time, rates, and the digest."""
+    platform = build_platform(
+        "k80", gpus_per_node=scenario["gpus_per_node"],
+        gpu_nodes=scenario["gpu_nodes"], seed=scenario["seed"],
+        sim_fast_path=fast,
+    )
+    client = platform.client("perf")
+    jobs = scenario["jobs"]
+
+    def drive():
+        ids = []
+        for i in range(jobs):
+            manifest = bench_manifest("resnet50", "tensorflow", 2, "k80",
+                                      steps=scenario["steps"])
+            manifest["name"] = f"perf-{i}"
+            ids.append((yield from client.submit(manifest)))
+        docs = []
+        for job_id in ids:
+            docs.append((yield from client.wait_for_status(job_id,
+                                                           timeout=100_000)))
+        return docs
+
+    start = time.perf_counter()
+    docs = platform.run_process(drive(), limit=500_000)
+    platform.run_for(30.0)
+    wall = time.perf_counter() - start
+
+    kernel = platform.kernel
+    completed = sum(1 for d in docs if d["status"] == "COMPLETED")
+    return {
+        "mode": "fast" if fast else "slow",
+        "jobs": jobs,
+        "completed": completed,
+        "wall_s": round(wall, 3),
+        "sim_s": round(kernel.now, 3),
+        "events_processed": kernel.events_processed,
+        "events_per_sec": round(kernel.events_processed / wall, 1),
+        "jobs_per_sec": round(jobs / wall, 3),
+        "timers_cancelled": kernel.timers_cancelled,
+        "dead_entries_skipped": kernel.dead_entries_skipped,
+        "dead_entry_ratio": round(kernel.dead_entry_ratio, 6),
+        "digest": timeline_digest(platform, docs),
+    }
+
+
+def run_full():
+    """Fast vs slow on the 24-job scenario; returns the result doc."""
+    fast = run_scenario(SCENARIO, fast=True)
+    slow = run_scenario(SCENARIO, fast=False)
+    smoke = run_scenario(SMOKE, fast=True)
+    return {
+        "scenario": SCENARIO,
+        "seed_baseline": SEED_BASELINE,
+        "fast": fast,
+        "slow": slow,
+        # vs the committed pre-optimization baseline (the gate)
+        "speedup_wall": round(SEED_BASELINE["wall_s"] / fast["wall_s"], 2),
+        "speedup_events_per_sec": round(
+            fast["events_per_sec"] / SEED_BASELINE["events_per_sec"], 2),
+        # vs the in-tree slow path (compat switches only; it shares the
+        # mode-independent caches, so this understates the real win)
+        "speedup_vs_slow_path": round(slow["wall_s"] / fast["wall_s"], 2),
+        "timelines_identical": fast["digest"] == slow["digest"],
+        "smoke": {"scenario": SMOKE, "wall_s": smoke["wall_s"],
+                  "events_per_sec": smoke["events_per_sec"],
+                  "digest": smoke["digest"]},
+    }
+
+
+def assert_full(result):
+    fast, slow = result["fast"], result["slow"]
+    assert fast["completed"] == fast["jobs"], fast
+    assert slow["completed"] == slow["jobs"], slow
+    assert result["timelines_identical"], (
+        "fast path changed the simulated timeline: "
+        f"{fast['digest']} != {slow['digest']}")
+    assert result["speedup_events_per_sec"] >= SPEEDUP_TARGET, (
+        f"events/sec speedup {result['speedup_events_per_sec']}x over the "
+        f"seed baseline is below the {SPEEDUP_TARGET}x target")
+    return result
+
+
+def run_check():
+    """CI smoke gate: small scenario vs the committed baseline."""
+    if not RESULT_PATH.exists():
+        print(f"error: {RESULT_PATH} missing; run the full bench first",
+              file=sys.stderr)
+        return 2
+    committed = json.loads(RESULT_PATH.read_text())
+    baseline = committed["smoke"]["wall_s"]
+    measured = run_scenario(SMOKE, fast=True)
+    limit = baseline * CHECK_TOLERANCE
+    status = "ok" if measured["wall_s"] <= limit else "REGRESSION"
+    print(f"perf smoke: wall={measured['wall_s']}s baseline={baseline}s "
+          f"limit={round(limit, 3)}s [{status}]")
+    if measured["digest"] != committed["smoke"]["digest"]:
+        print("perf smoke: WARNING timeline digest drifted from baseline "
+              "(expected after any scheduling-visible change; rerun the "
+              "full bench to refresh BENCH_perf.json)")
+    return 0 if status == "ok" else 1
+
+
+def test_perf_gate():
+    """Benchmark-suite entry: full fast-vs-slow comparison."""
+    result = assert_full(run_full())
+    print(json.dumps({k: result[k] for k in
+                      ("speedup_wall", "speedup_events_per_sec",
+                       "timelines_identical")}, indent=2))
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--check", action="store_true",
+                        help="smoke gate against committed BENCH_perf.json")
+    args = parser.parse_args(argv)
+    if args.check:
+        return run_check()
+    result = assert_full(run_full())
+    RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    print(json.dumps(result, indent=2))
+    print(f"wrote {RESULT_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,5 +19,11 @@ python scripts/lint_metric_names.py
 echo "== event-reason lint =="
 python scripts/lint_event_reasons.py
 
+echo "== deepcopy lint =="
+python scripts/lint_deepcopy.py
+
 echo "== pytest (tier 1) =="
 PYTHONPATH=src python -m pytest -q "$@"
+
+echo "== perf smoke gate =="
+PYTHONPATH=src python benchmarks/bench_perf.py --check

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Lint: ``copy.deepcopy`` is banned outside the two copy boundaries.
+
+The fast path's copy discipline is structural: documents are deep-copied
+in exactly two places — the docstore's own copier
+(``repro/docstore/update.py``, which also powers read-copies) and the
+RPC serialization boundary (``repro/grpcnet/payload.py``). Everything
+else passes references and relies on those boundaries, so a stray
+``copy.deepcopy`` elsewhere is either a redundant double copy (the perf
+bug this PR removed) or a sign that state is escaping its owner.
+
+Scans ``src/`` for ``import copy`` / ``from copy import deepcopy`` and
+any ``copy.deepcopy(...)`` / ``deepcopy(...)`` call outside the allowed
+files. Exits non-zero listing violations; wired into
+``scripts/check.sh`` (and thus ``make check``).
+"""
+
+import ast
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC = ROOT / "src"
+
+# The only modules allowed to deep-copy: the docstore's mutation/read
+# copier and the RPC single-serialization boundary.
+ALLOWED = {
+    SRC / "repro" / "docstore" / "update.py",
+    SRC / "repro" / "grpcnet" / "payload.py",
+}
+
+
+def check_file(path):
+    tree = ast.parse(path.read_text(), filename=str(path))
+    violations = []
+
+    def flag(node, what):
+        violations.append(f"{path.relative_to(ROOT)}:{node.lineno}: {what}")
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "copy":
+                    flag(node, "imports the copy module")
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "copy":
+                names = ", ".join(a.name for a in node.names)
+                flag(node, f"imports from copy ({names})")
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (isinstance(func, ast.Attribute) and func.attr == "deepcopy"
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == "copy"):
+                flag(node, "calls copy.deepcopy")
+            elif isinstance(func, ast.Name) and func.id == "deepcopy":
+                flag(node, "calls deepcopy")
+    return violations
+
+
+def main():
+    violations = []
+    for path in sorted(SRC.rglob("*.py")):
+        if path in ALLOWED:
+            continue
+        violations.extend(check_file(path))
+    for line in violations:
+        print(line)
+    if violations:
+        print(f"{len(violations)} deepcopy use(s) outside the docstore "
+              f"copier and the RPC payload boundary; pass references and "
+              f"let the boundary copy", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

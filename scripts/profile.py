@@ -1,0 +1,67 @@
+"""Profile the simulator hot path under cProfile.
+
+Runs the bench_perf scenario (small by default, ``--full`` for the
+24-job scalability scenario) and prints the top functions by own time
+and by cumulative time. This is the workflow that found every
+optimization in the fast path: run, read the tottime column, fix the
+top entry, repeat.
+
+Usage::
+
+    PYTHONPATH=src python scripts/profile.py            # smoke scenario
+    PYTHONPATH=src python scripts/profile.py --full     # 24-job scenario
+    PYTHONPATH=src python scripts/profile.py --slow     # compat path
+    PYTHONPATH=src python scripts/profile.py -o out.pstats  # for snakeviz
+"""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+# This file is named profile.py, which would shadow the stdlib profile
+# module cProfile imports — drop scripts/ from the path first.
+sys.path[:] = [p for p in sys.path
+               if Path(p or ".").resolve() != REPO_ROOT / "scripts"]
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+import argparse  # noqa: E402
+import cProfile  # noqa: E402
+import pstats  # noqa: E402
+
+from bench_perf import SCENARIO, SMOKE, run_scenario  # noqa: E402
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--full", action="store_true",
+                        help="profile the 24-job scalability scenario")
+    parser.add_argument("--slow", action="store_true",
+                        help="profile the sim_fast_path=False compat path")
+    parser.add_argument("--lines", type=int, default=25,
+                        help="rows per stats table (default 25)")
+    parser.add_argument("-o", "--output", metavar="FILE",
+                        help="also dump raw pstats to FILE")
+    args = parser.parse_args(argv)
+
+    scenario = SCENARIO if args.full else SMOKE
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = run_scenario(scenario, fast=not args.slow)
+    profiler.disable()
+
+    print(f"mode={result['mode']} jobs={result['jobs']} "
+          f"wall={result['wall_s']}s events={result['events_processed']} "
+          f"({result['events_per_sec']}/s)\n")
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs()
+    for sort in ("tottime", "cumulative"):
+        print(f"--- top {args.lines} by {sort} ---")
+        stats.sort_stats(sort).print_stats(args.lines)
+    if args.output:
+        stats.dump_stats(args.output)
+        print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

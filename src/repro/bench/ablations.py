@@ -77,6 +77,7 @@ def _run_with_crashes(interval, mtbf, steps, seed, restart_cost):
 
         def race(process=process, timer=timer):
             winner, _ = yield kernel.any_of([process, timer])
+            timer.cancel()
             return winner is process
 
         finished = kernel.run_until_complete(kernel.spawn(race()))

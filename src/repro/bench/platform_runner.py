@@ -12,7 +12,8 @@ from ..core import DlaasPlatform, PlatformConfig
 CREDENTIALS = {"access_key": "bench", "secret": "bench"}
 
 
-def build_platform(gpu_type, gpus_per_node, seed=0, gpu_nodes=2):
+def build_platform(gpu_type, gpus_per_node, seed=0, gpu_nodes=2,
+                   **config_overrides):
     platform = DlaasPlatform(
         seed=seed,
         config=PlatformConfig(
@@ -20,6 +21,7 @@ def build_platform(gpu_type, gpus_per_node, seed=0, gpu_nodes=2):
             gpus_per_node=gpus_per_node,
             gpu_type=gpu_type,
             management_nodes=2,
+            **config_overrides,
         ),
     ).start()
     platform.seed_training_data("bench-data", CREDENTIALS, size_mb=200)

@@ -51,6 +51,16 @@ class ApiServer:
         self.kernel = kernel
         self.tracer = tracer
         self._stores = {}
+        # Per-kind list() cache, sorted by (creation_time, name). Both
+        # sort-key fields are immutable after create, so updates never
+        # reorder it; creates append (monotone clock) and deletes remove
+        # in place. None = rebuild on next list().
+        self._sorted = {}
+        # (namespace, selector) list() results, cached per kind. Labels
+        # and namespace are set only at construction (no call site
+        # mutates them afterwards), so membership changes only on
+        # create/delete — updates leave every filtered list valid.
+        self._filtered = {}
         self._watchers = {}
         self.events = []
 
@@ -69,6 +79,16 @@ class ApiServer:
         resource.metadata.creation_time = self.kernel.now
         resource.metadata.resource_version = 1
         store[key] = resource
+        cache = self._sorted.get(resource.kind)
+        if cache is not None:
+            if not cache or (
+                (cache[-1].metadata.creation_time or 0.0, cache[-1].metadata.name)
+                <= (resource.metadata.creation_time or 0.0, resource.metadata.name)
+            ):
+                cache.append(resource)
+            else:
+                self._sorted[resource.kind] = None
+        self._filtered.pop(resource.kind, None)
         self._notify(resource.kind, "ADDED", resource)
         return resource
 
@@ -81,18 +101,44 @@ class ApiServer:
     def get_or_none(self, kind, name, namespace="default"):
         return self._store(kind).get((namespace, name))
 
-    def list(self, kind, namespace=None, selector=None):
-        out = []
-        for resource in self._store(kind).values():
-            if namespace is not None and resource.metadata.namespace != namespace:
-                continue
-            if selector is not None and not all(
-                resource.metadata.labels.get(k) == v for k, v in selector.items()
-            ):
-                continue
-            out.append(resource)
-        out.sort(key=lambda r: (r.metadata.creation_time or 0.0, r.metadata.name))
-        return out
+    def list(self, kind, namespace=None, selector=None, owner=None):
+        cache = self._sorted.get(kind)
+        if cache is None:
+            cache = sorted(
+                self._store(kind).values(),
+                key=lambda r: (r.metadata.creation_time or 0.0, r.metadata.name),
+            )
+            self._sorted[kind] = cache
+        # Filtering a pre-sorted list equals sorting the filtered list:
+        # the stable sort keeps insertion order within key ties either
+        # way. Always return a fresh list; the caches are private.
+        if namespace is None and selector is None and owner is None:
+            return list(cache)
+        filter_key = (namespace,
+                      tuple(sorted(selector.items())) if selector else None,
+                      owner)
+        filtered = self._filtered.setdefault(kind, {})
+        out = filtered.get(filter_key)
+        if out is None:
+            out = []
+            for resource in cache:
+                metadata = resource.metadata
+                if namespace is not None and metadata.namespace != namespace:
+                    continue
+                if owner is not None and metadata.owner != owner:
+                    continue
+                if selector is not None:
+                    labels = metadata.labels
+                    matched = True
+                    for key, value in selector.items():
+                        if labels.get(key) != value:
+                            matched = False
+                            break
+                    if not matched:
+                        continue
+                out.append(resource)
+            filtered[filter_key] = out
+        return list(out)
 
     def update(self, resource):
         store = self._store(resource.kind)
@@ -108,6 +154,13 @@ class ApiServer:
         resource = store.pop((namespace, name), None)
         if resource is None:
             raise NotFoundError(f"{kind} {namespace}/{name}")
+        cache = self._sorted.get(kind)
+        if cache is not None:
+            try:
+                cache.remove(resource)
+            except ValueError:
+                self._sorted[kind] = None
+        self._filtered.pop(kind, None)
         self._notify(kind, "DELETED", resource)
         return resource
 

@@ -133,13 +133,13 @@ class StatefulSetController(Controller):
                     pod.deletion_requested = True
                     self.api.update(pod)
             # Scale down: remove ordinals >= replicas.
-            for pod in self.api.list("Pod", namespace=sset.metadata.namespace):
-                if pod.metadata.owner == ("StatefulSet", sset.metadata.name):
-                    ordinal = self._ordinal_of(sset, pod.metadata.name)
-                    if ordinal is not None and ordinal >= sset.replicas \
-                            and not pod.deletion_requested:
-                        pod.deletion_requested = True
-                        self.api.update(pod)
+            for pod in self.api.list("Pod", namespace=sset.metadata.namespace,
+                                     owner=("StatefulSet", sset.metadata.name)):
+                ordinal = self._ordinal_of(sset, pod.metadata.name)
+                if ordinal is not None and ordinal >= sset.replicas \
+                        and not pod.deletion_requested:
+                    pod.deletion_requested = True
+                    self.api.update(pod)
 
     @staticmethod
     def _ordinal_of(sset, pod_name):
@@ -167,12 +167,12 @@ class StatefulSetController(Controller):
 
     def _tear_down(self, sset):
         remaining = 0
-        for pod in self.api.list("Pod", namespace=sset.metadata.namespace):
-            if pod.metadata.owner == ("StatefulSet", sset.metadata.name):
-                remaining += 1
-                if not pod.deletion_requested:
-                    pod.deletion_requested = True
-                    self.api.update(pod)
+        for pod in self.api.list("Pod", namespace=sset.metadata.namespace,
+                                 owner=("StatefulSet", sset.metadata.name)):
+            remaining += 1
+            if not pod.deletion_requested:
+                pod.deletion_requested = True
+                self.api.update(pod)
         if remaining == 0:
             self.api.delete("StatefulSet", sset.metadata.name, sset.metadata.namespace)
 
@@ -184,10 +184,9 @@ class DeploymentController(Controller):
 
     def reconcile(self):
         for deployment in self.api.list("Deployment"):
-            owned = [
-                pod for pod in self.api.list("Pod", namespace=deployment.metadata.namespace)
-                if pod.metadata.owner == ("Deployment", deployment.metadata.name)
-            ]
+            owned = self.api.list(
+                "Pod", namespace=deployment.metadata.namespace,
+                owner=("Deployment", deployment.metadata.name))
             if deployment.deletion_requested:
                 for pod in owned:
                     if not pod.deletion_requested:

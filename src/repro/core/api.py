@@ -124,16 +124,21 @@ class ApiService:
     # reads
     # ------------------------------------------------------------------
 
-    def _load_job(self, tenant, job_id):
+    def _load_job(self, tenant, job_id, projection=None):
         doc = yield from self.mongo.find_one("jobs", {"job_id": job_id,
-                                                      "tenant": tenant})
+                                                      "tenant": tenant},
+                                             projection=projection)
         if doc is None:
             raise JobNotFound(f"{job_id} (tenant {tenant})")
         return doc
 
     def _on_status(self, request):
         tenant = yield from self._authenticate(request, "status")
-        doc = yield from self._load_job(tenant, request["job_id"])
+        # Everything the response needs except the (large) manifest.
+        doc = yield from self._load_job(
+            tenant, request["job_id"],
+            projection=["job_id", "name", "status", "status_history",
+                        "created_at", "completed_at", "metrics"])
         learners = yield from self.etcd.get_range(
             layout.learner_status_prefix(request["job_id"])
         )
@@ -150,8 +155,9 @@ class ApiService:
 
     def _on_list_jobs(self, request):
         tenant = yield from self._authenticate(request, "list_jobs")
-        docs = yield from self.mongo.find("jobs", {"tenant": tenant},
-                                          sort=[("created_at", 1)])
+        docs = yield from self.mongo.find(
+            "jobs", {"tenant": tenant}, sort=[("created_at", 1)],
+            projection=["job_id", "name", "status", "created_at"])
         return [{"job_id": d["job_id"], "name": d["name"], "status": d["status"]}
                 for d in docs]
 
@@ -163,7 +169,8 @@ class ApiService:
         object store.
         """
         tenant = yield from self._authenticate(request, "logs")
-        doc = yield from self._load_job(tenant, request["job_id"])
+        doc = yield from self._load_job(tenant, request["job_id"],
+                                        projection=["job_id", "manifest"])
         job_id = doc["job_id"]
         tail = request.get("tail")
         volume_name = f"pv-default-{layout.pvc_name(job_id)}"
@@ -208,7 +215,8 @@ class ApiService:
     def _on_job_events(self, request):
         """Events involving one job, tenancy-checked like status."""
         tenant = yield from self._authenticate(request, "job_events")
-        doc = yield from self._load_job(tenant, request["job_id"])
+        doc = yield from self._load_job(tenant, request["job_id"],
+                                        projection=["job_id"])
         docs = yield from self.mongo.find("events", {"job": doc["job_id"]},
                                           sort=[("first_time", 1)])
         return [self._event_body(d) for d in docs]
@@ -225,7 +233,8 @@ class ApiService:
 
     def _on_halt(self, request):
         tenant = yield from self._authenticate(request, "halt")
-        doc = yield from self._load_job(tenant, request["job_id"])
+        doc = yield from self._load_job(tenant, request["job_id"],
+                                        projection=["job_id", "status"])
         if is_terminal(doc["status"]):
             return {"job_id": doc["job_id"], "status": doc["status"]}
         response = yield from self.lcm.call("kill_job", {"job_id": doc["job_id"]},

@@ -130,7 +130,8 @@ class Guardian:
         yield self.kernel.sleep(self.platform.config.guardian_init_time)
         self.platform.tracer.emit("guardian", "component-ready", job=self.job_id)
 
-        doc = yield from self.mongo.find_one("jobs", {"job_id": self.job_id})
+        doc = yield from self.mongo.find_one("jobs", {"job_id": self.job_id},
+                                             projection=["status", "manifest"])
         if doc is None:
             self.ctx.log(f"no metadata for {self.job_id}; giving up")
             return 1
@@ -259,6 +260,7 @@ class Guardian:
                 gets = [watch.get() for watch in watches]
                 timer = self.kernel.sleep(min(resync, deadline - self.kernel.now))
                 yield self.kernel.any_of(gets + [timer])
+                timer.cancel()
                 for watch, get in zip(watches, gets):
                     if not get.triggered:
                         # Abandoned getters would swallow the next event.
@@ -531,7 +533,9 @@ class Guardian:
 
     def _record_gpu_seconds(self):
         """Meter GPU occupancy and record job-level training metrics."""
-        doc = yield from self.mongo.find_one("jobs", {"job_id": self.job_id})
+        doc = yield from self.mongo.find_one(
+            "jobs", {"job_id": self.job_id},
+            projection=["status_history", "created_at", "tenant"])
         if doc is None:
             return
         history = {h["status"]: h["time"] for h in doc["status_history"]}
@@ -592,7 +596,8 @@ class Guardian:
 
     def _set_status(self, status, reason=None):
         """Advance the job's status in MongoDB, validated and monotone."""
-        doc = yield from self.mongo.find_one("jobs", {"job_id": self.job_id})
+        doc = yield from self.mongo.find_one("jobs", {"job_id": self.job_id},
+                                             projection=["status"])
         if doc is None or doc["status"] == status:
             return
         try:

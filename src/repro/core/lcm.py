@@ -136,7 +136,8 @@ class LcmService:
         guarded by the QUEUED->DEPLOYING status claim)."""
 
         def list_queued():
-            docs = yield from self.mongo.find("jobs", {"status": QUEUED})
+            docs = yield from self.mongo.find("jobs", {"status": QUEUED},
+                                              projection=["job_id"])
             return [doc["job_id"] for doc in docs]
 
         tracer = self.platform.tracer
@@ -191,7 +192,8 @@ class LcmService:
         dlaas_job = job.metadata.labels.get("dlaas-job")
         if dlaas_job is None:
             return
-        doc = yield from self.mongo.find_one("jobs", {"job_id": dlaas_job})
+        doc = yield from self.mongo.find_one("jobs", {"job_id": dlaas_job},
+                                             projection=["status"])
         if doc is None or not is_terminal(doc["status"]):
             return
         if job.active_pod and api.exists("Pod", job.active_pod):

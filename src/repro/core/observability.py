@@ -65,7 +65,7 @@ class ClusterMonitor:
             for pod in pods:
                 phases[pod.phase] = phases.get(pod.phase, 0) + 1
             try:
-                jobs = yield from mongo.find("jobs", {})
+                jobs = yield from mongo.find("jobs", {}, projection=["status"])
             except Exception:
                 jobs = []
             statuses = {}

@@ -115,6 +115,18 @@ class PlatformConfig:
     # (None = unauthenticated, the current behaviour).
     metrics_auth: str = None
 
+    # Simulator fast path. On: cancellable timers with lazy heap
+    # deletion, indexed docstore queries, and copy-elided reads behind
+    # the Mongo servers' single send-boundary copy. Off replays the
+    # unoptimized code paths; either way the simulated timeline is
+    # bit-identical (asserted by tests/integration/test_fast_path_
+    # equivalence.py), so the flag exists only for equivalence testing
+    # and before/after benchmarking.
+    sim_fast_path: bool = True
+    # Debug assertion that no RPC handler mutates a request in place
+    # (the contract that makes reference-passing payloads sound).
+    rpc_debug_freeze: bool = False
+
     # Fabric
     network_latency: float = 0.0008
     network_jitter: float = 0.0006
@@ -131,8 +143,9 @@ class DlaasPlatform:
     """The running platform: substrates + core services + user client."""
 
     def __init__(self, kernel=None, config=None, seed=0):
-        self.kernel = kernel or Kernel(seed=seed)
         self.config = config or PlatformConfig()
+        self.kernel = kernel or Kernel(
+            seed=seed, timer_cancellation=self.config.sim_fast_path)
         self.tracer = Tracer(self.kernel,
                              span_tracing=self.config.span_tracing)
         self.metrics = MetricsRegistry()
@@ -147,6 +160,7 @@ class DlaasPlatform:
                                  self.config.network_jitter),
             tracer=None,
             metrics=self.metrics,
+            debug_freeze=self.config.rpc_debug_freeze,
         )
         self.nfs = NfsServer(self.kernel, metrics=self.metrics,
                              events=self.events)
@@ -158,7 +172,8 @@ class DlaasPlatform:
                                 metrics=self.metrics, events=self.events)
         self.mongo = MongoReplicaSet(self.kernel, self.network,
                                      size=self.config.mongo_size,
-                                     events=self.events)
+                                     events=self.events,
+                                     fast_path=self.config.sim_fast_path)
         self.tokens = TokenRegistry()
         self.api_balancer = LoadBalancer("dlaas-api")
         self.lcm_balancer = LoadBalancer("dlaas-lcm")
@@ -230,8 +245,18 @@ class DlaasPlatform:
         # Bootstrap-time schema setup, directly on the primary (the
         # replication stream mirrors collections created later).
         for member in self.mongo.members.values():
-            member.database.collection("jobs").create_index("job_id", unique=True)
+            jobs = member.database.collection("jobs")
+            jobs.create_index("job_id", unique=True)
+            # Secondary equality indexes on the fields the LCM resync
+            # ({status: QUEUED}), API listing ({tenant: ...}) and the
+            # monitoring flusher/event queries ({job: ...}) hammer.
+            jobs.create_index("status")
+            jobs.create_index("tenant")
             member.database.collection("counters").create_index("_id_name", unique=True)
+            events = member.database.collection("events")
+            events.create_index("job")
+            events.create_index("event_key")
+            member.database.collection("metering").create_index("tenant")
 
     def _deploy_core_services(self):
         self.k8s.api.create(Deployment(

@@ -4,16 +4,21 @@ from .collection import Collection
 
 
 class Database:
-    """A namespace of collections, created on first access."""
+    """A namespace of collections, created on first access.
 
-    def __init__(self, name):
+    ``use_planner=False`` propagates to every collection, replaying
+    pre-index full-scan behavior for equivalence tests.
+    """
+
+    def __init__(self, name, use_planner=True):
         self.name = name
+        self.use_planner = use_planner
         self._collections = {}
 
     def collection(self, name):
         coll = self._collections.get(name)
         if coll is None:
-            coll = Collection(f"{self.name}.{name}")
+            coll = Collection(f"{self.name}.{name}", use_planner=self.use_planner)
             self._collections[name] = coll
         return coll
 
@@ -28,11 +33,13 @@ class Database:
 
     def clone(self, new_name=None):
         """Deep copy of every collection (replica state transfer)."""
-        copy = Database(new_name or self.name)
+        copy = Database(new_name or self.name, use_planner=self.use_planner)
         for name, coll in self._collections.items():
             target = copy.collection(name)
             for field in coll._unique_indexes:
                 target.create_index(field, unique=True)
+            for field in coll._indexes:
+                target.create_index(field)
             for doc in coll._iter_docs():
                 target.insert_one(doc)
         return copy

@@ -18,14 +18,22 @@ from .errors import NoPrimary
 class MongoMember:
     """One replica-set member: a Database behind an RPC server."""
 
-    def __init__(self, kernel, network, member_id, replica_set, service_time=0.0005):
+    def __init__(self, kernel, network, member_id, replica_set, service_time=0.0005,
+                 fast_path=True):
         self.kernel = kernel
         self.member_id = member_id
         self.replica_set = replica_set
-        self.database = Database(member_id)
+        # Fast path: reads return uncopied documents (copy=False) and
+        # the RPC server deep-copies the response once at the send
+        # boundary — one copy per query instead of one per read plus
+        # implicit sharing per hop. False restores per-read copying for
+        # the equivalence tests.
+        self.fast_path = fast_path
+        self.database = Database(member_id, use_planner=fast_path)
         self.alive = False
         self.syncing = False
-        self.server = Server(kernel, network, member_id, service_time=service_time)
+        self.server = Server(kernel, network, member_id, service_time=service_time,
+                             copy_responses=fast_path)
         self.server.add_method("command", self._on_command)
         self.server.add_method("replicate", self._on_replicate)
         self.server.add_method("is_primary", lambda _r: {"primary": self.is_primary})
@@ -54,7 +62,7 @@ class MongoMember:
                     "Warning", "MongoMemberDown", "MongoMember", self.member_id,
                     message="data lost" if lose_data else "member crashed")
         if lose_data:
-            self.database = Database(self.member_id)
+            self.database = Database(self.member_id, use_planner=self.fast_path)
         return self
 
     def restart(self, sync_base_time=0.2, sync_per_doc=0.0005):
@@ -93,10 +101,17 @@ class MongoMember:
     def _execute(self, request):
         coll = self.database.collection(request["collection"])
         op = request["op"]
+        # Read ops are marked copy-elided: the server's send-boundary
+        # copy is the single serialization point (reads never yield
+        # between the lookup and the response, so no write can slip in
+        # between the two).
+        reads_copy = not self.fast_path
         if op == "insert_one":
             return {"inserted_id": coll.insert_one(request["document"])}
         if op == "find_one":
-            return {"document": coll.find_one(request.get("query"))}
+            return {"document": coll.find_one(request.get("query"),
+                                              projection=request.get("projection"),
+                                              copy=reads_copy)}
         if op == "find":
             return {
                 "documents": coll.find(
@@ -105,6 +120,7 @@ class MongoMember:
                     limit=request.get("limit"),
                     skip=request.get("skip", 0),
                     projection=request.get("projection"),
+                    copy=reads_copy,
                 )
             }
         if op == "update_one":
@@ -120,6 +136,7 @@ class MongoMember:
                 "document": coll.find_one_and_update(
                     request["query"], request["update"],
                     return_new=request.get("return_new", True),
+                    copy=reads_copy,
                 )
             }
         if op == "delete_one":
@@ -157,7 +174,7 @@ class MongoReplicaSet:
     """A fixed-membership replica set with majority write concern."""
 
     def __init__(self, kernel, network, size=3, prefix="mongo",
-                 service_time=0.0005, events=None):
+                 service_time=0.0005, events=None, fast_path=True):
         if size < 1:
             raise ValueError("replica set size must be >= 1")
         self.kernel = kernel
@@ -167,7 +184,8 @@ class MongoReplicaSet:
         for i in range(size):
             member_id = f"{prefix}-{i}"
             self.members[member_id] = MongoMember(
-                kernel, network, member_id, self, service_time=service_time
+                kernel, network, member_id, self, service_time=service_time,
+                fast_path=fast_path,
             )
 
     def start(self):
@@ -278,18 +296,20 @@ class MongoClient:
         )
         return response["inserted_id"]
 
-    def find_one(self, collection, query=None, ctx=None):
+    def find_one(self, collection, query=None, projection=None, ctx=None):
         response = yield from self._command(
-            {"op": "find_one", "collection": collection, "query": query or {}},
+            {"op": "find_one", "collection": collection, "query": query or {},
+             "projection": projection},
             ctx=ctx,
         )
         return response["document"]
 
     def find(self, collection, query=None, sort=None, limit=None, skip=0,
-             ctx=None):
+             projection=None, ctx=None):
         response = yield from self._command({
             "op": "find", "collection": collection, "query": query or {},
             "sort": sort, "limit": limit, "skip": skip,
+            "projection": projection,
         }, ctx=ctx)
         return response["documents"]
 

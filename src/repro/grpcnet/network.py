@@ -8,7 +8,9 @@ network partitions for dependability experiments. Services register a
 """
 
 from ..sim.errors import ProcessKilled
+from ..sim.events import PENDING, Event
 from .errors import DeadlineExceeded, Unavailable
+from .payload import deep_copy_payload
 
 
 class LatencyModel:
@@ -24,17 +26,60 @@ class LatencyModel:
         return self.base + rng.random() * self.jitter
 
 
+class _DeadlineCall(Event):
+    """The call-vs-deadline race, wired as a plain event.
+
+    Replaces the per-call wrapper process: the caller yields this event,
+    which succeeds/fails with the underlying call or fails with
+    :class:`DeadlineExceeded` when the timer wins (killing the in-flight
+    call). One event instead of a Process + AnyOf per deadline'd RPC.
+    """
+
+    __slots__ = ("_process", "_timer", "_address", "_method", "_deadline")
+
+    def __init__(self, network, process, deadline, address, method):
+        Event.__init__(self, network.kernel)
+        self._process = process
+        self._address = address
+        self._method = method
+        self._deadline = deadline
+        self._timer = network.kernel.sleep(deadline)
+        process.add_callback(self._on_process)
+        self._timer.add_callback(self._on_timer)
+
+    def _on_process(self, process):
+        if self.state is not PENDING:
+            return
+        self._timer.cancel()  # lazy heap deletion; no-op on the slow path
+        if process.state == "failed":
+            self.fail(process.exception)
+        else:
+            self.succeed(process.value)
+
+    def _on_timer(self, _timer):
+        if self.state is not PENDING:
+            return  # the call finished first (slow path: timer still fires)
+        self._process.kill("deadline exceeded")
+        self.fail(DeadlineExceeded(
+            f"{self._address}/{self._method} after {self._deadline}s"))
+
+
 class Network:
     """Registry of endpoints plus the latency/partition/loss model."""
 
     def __init__(self, kernel, latency=None, loss_rate=0.0, tracer=None,
-                 metrics=None):
+                 metrics=None, debug_freeze=False):
         if not 0.0 <= loss_rate < 1.0:
             raise ValueError(f"loss_rate must be in [0, 1): {loss_rate}")
         self.kernel = kernel
         self.latency = latency or LatencyModel()
         self.loss_rate = loss_rate
         self.tracer = tracer
+        # Debug mode for the single-serialization fast path: payloads
+        # travel by reference, which is only sound if no handler mutates
+        # a request in place. When enabled, every request is snapshotted
+        # at send time and verified unchanged after the handler ran.
+        self.debug_freeze = debug_freeze
         self._servers = {}
         self._partitions = set()
         self._rng = kernel.rng("network")
@@ -49,6 +94,10 @@ class Network:
                 help="RPC wall time from initiation to response")
         else:
             self._m_calls = self._m_duration = None
+        # labels() resolved once per (method, code) / method — the
+        # children are stable, and the per-RPC lookup cost is measurable.
+        self._call_children = {}
+        self._duration_children = {}
 
     # ------------------------------------------------------------------
     # Endpoint registry
@@ -96,26 +145,14 @@ class Network:
         the response (or the failure). ``deadline`` is in simulated
         seconds, measured from call initiation.
         """
+        debug = self.kernel.debug
         process = self.kernel.spawn(
             self._call(address, method, request, caller),
-            name=f"rpc:{caller}->{address}/{method}",
+            name=f"rpc:{caller}->{address}/{method}" if debug else "rpc",
         )
         if deadline is None:
             return process
-        return self.kernel.spawn(
-            self._with_deadline(process, deadline, address, method),
-            name=f"rpc-deadline:{caller}->{address}/{method}",
-        )
-
-    def _with_deadline(self, process, deadline, address, method):
-        timer = self.kernel.sleep(deadline)
-        winner, _value = yield self.kernel.any_of([process, timer])
-        if winner is timer:
-            process.kill("deadline exceeded")
-            raise DeadlineExceeded(f"{address}/{method} after {deadline}s")
-        if process.state == "failed":
-            raise process.exception
-        return process.value
+        return _DeadlineCall(self, process, deadline, address, method)
 
     def _call(self, address, method, request, caller):
         self.calls_total += 1
@@ -130,11 +167,16 @@ class Network:
                 raise Unavailable(f"no live endpoint at {address}")
             if self.is_partitioned(caller, address):
                 raise Unavailable(f"{caller} partitioned from {address}")
+            snapshot = deep_copy_payload(request) if self.debug_freeze else None
             handler_process = server.dispatch(method, request)
             try:
                 response = yield handler_process
             except ProcessKilled:
                 raise Unavailable(f"{address} crashed while serving {method}") from None
+            if snapshot is not None and request != snapshot:
+                raise AssertionError(
+                    f"handler {address}/{method} mutated its request in place "
+                    "(violates the single-serialization contract)")
             yield self.kernel.sleep(self.latency.sample(self._rng))
             if self.is_partitioned(caller, address):
                 raise Unavailable(f"response from {address} dropped by partition")
@@ -145,8 +187,15 @@ class Network:
             raise
         finally:
             if self._m_calls is not None:
-                self._m_calls.labels(method=method, code=code).inc()
-                self._m_duration.labels(method=method).observe(
-                    self.kernel.now - started)
+                counter = self._call_children.get((method, code))
+                if counter is None:
+                    counter = self._call_children[(method, code)] = \
+                        self._m_calls.labels(method=method, code=code)
+                counter.inc()
+                histogram = self._duration_children.get(method)
+                if histogram is None:
+                    histogram = self._duration_children[method] = \
+                        self._m_duration.labels(method=method)
+                histogram.observe(self.kernel.now - started)
             if self.tracer is not None:
                 self.tracer.emit("network", "rpc", caller=caller, address=address, method=method)

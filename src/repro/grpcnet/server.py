@@ -4,6 +4,7 @@ import inspect
 
 from ..sim.errors import ProcessKilled
 from .errors import MethodNotFound, ServiceError
+from .payload import deep_copy_payload
 
 
 class Server:
@@ -19,11 +20,16 @@ class Server:
     :meth:`start` is called again.
     """
 
-    def __init__(self, kernel, network, address, service_time=0.0):
+    def __init__(self, kernel, network, address, service_time=0.0,
+                 copy_responses=False):
         self.kernel = kernel
         self.network = network
         self.address = address
         self.service_time = service_time
+        # Single-serialization boundary: when True, every response is
+        # deep-copied once here, and handlers may return references to
+        # internal state (e.g. the docstore's copy-elided reads).
+        self.copy_responses = copy_responses
         self.running = False
         self._methods = {}
         self._inflight = set()
@@ -69,10 +75,12 @@ class Server:
         handler = self._methods.get(method)
         process = self.kernel.spawn(
             self._serve(handler, method, request),
-            name=f"{self.address}/{method}",
+            name=f"{self.address}/{method}" if self.kernel.debug else "serve",
         )
         self._inflight.add(process)
-        process.add_callback(lambda _ev: self._inflight.discard(process))
+        # The completion callback receives the process itself, so the
+        # bound discard needs no per-call closure.
+        process.add_callback(self._inflight.discard)
         return process
 
     def _serve(self, handler, method, request):
@@ -94,4 +102,6 @@ class Server:
         except Exception as exc:
             raise ServiceError(method, exc) from exc
         self.requests_served += 1
+        if self.copy_responses:
+            response = deep_copy_payload(response)
         return response

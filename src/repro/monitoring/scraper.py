@@ -19,7 +19,28 @@ Series that existed on the previous scrape but are absent from this
 one (a label set that vanished, a probe with no data) receive a
 staleness marker, so downstream alert rules stop seeing their last
 value.
+
+Each (metric child -> series) emission runs thousands of times per
+simulated minute, so its plan — the derived series names, the label
+dict, the canonical staleness key, and eventually the series object
+itself — is computed once per child and cached on a
+:class:`_SeriesHandle`; a scrape tick then reduces to value reads and
+ring-buffer appends.
 """
+
+from ..sim.timeseries import canonical_labels
+
+
+class _SeriesHandle:
+    """Cached emission target: one (name, labels) series."""
+
+    __slots__ = ("name", "labels", "key", "series")
+
+    def __init__(self, name, labels):
+        self.name = name
+        self.labels = canonical_labels(labels)
+        self.key = (name, self.labels)
+        self.series = None  # resolved on first emission
 
 
 class MetricsScraper:
@@ -40,13 +61,28 @@ class MetricsScraper:
         self.scrape_count = 0
         self._proc = None
         self._last_keys = set()
+        self._plans = {}  # (family name, labelvalues) -> emit plan
+        self._quantile_cache = {}  # plan key -> (count, [q values])
+        self._up_handles = {}  # component -> _SeriesHandle
         if registry is not None:
             self._m_scrapes = registry.counter(
                 "monitoring_scrapes_total", help="Completed scrape passes")
             self._m_series = registry.gauge(
                 "monitoring_series", help="Live series in the scrape store")
+            # Kernel perf counters, published like any other scraped
+            # family (setting gauges is pure bookkeeping — no events).
+            self._g_events = registry.gauge(
+                "kernel_events_processed_total",
+                help="Heap entries popped by the simulation kernel")
+            self._g_dead = registry.gauge(
+                "kernel_dead_entries_total",
+                help="Cancelled timers skipped at pop (lazy heap deletion)")
+            self._g_dead_ratio = registry.gauge(
+                "kernel_dead_entry_ratio",
+                help="Fraction of heap pops that were cancelled timers")
         else:
             self._m_scrapes = self._m_series = None
+            self._g_events = self._g_dead = self._g_dead_ratio = None
 
     def start(self):
         if self.running:
@@ -69,20 +105,35 @@ class MetricsScraper:
 
     # ------------------------------------------------------------------
 
+    def _emit(self, handle, now, value, seen):
+        series = handle.series
+        if series is None:
+            series = handle.series = self.store._get_or_create(
+                handle.name, handle.labels)
+        series.add(now, value)
+        seen.add(handle.key)
+
     def scrape_once(self):
         """One scrape pass; safe to call directly from tests."""
         now = self.kernel.now
         seen = set()
 
-        def put(name, labels, value):
-            self.store.add(name, labels, now, value)
-            seen.add((name, tuple(sorted(labels.items()))))
+        if self._g_events is not None:
+            kernel = self.kernel
+            self._g_events.set(float(kernel.events_processed))
+            self._g_dead.set(float(kernel.dead_entries_skipped))
+            self._g_dead_ratio.set(kernel.dead_entry_ratio)
 
         if self.registry is not None:
-            self._collect_registry(put)
+            self._collect_registry(now, seen)
         if self.health is not None:
+            handles = self._up_handles
             for component, up in self.health.up_samples():
-                put("up", {"component": component}, up)
+                handle = handles.get(component)
+                if handle is None:
+                    handle = handles[component] = _SeriesHandle(
+                        "up", {"component": component})
+                self._emit(handle, now, up, seen)
 
         for name, labels in self._last_keys - seen:
             self.store.mark_stale(name, labels, now)
@@ -92,18 +143,45 @@ class MetricsScraper:
             self._m_scrapes.inc()
             self._m_series.set(len(self.store))
 
-    def _collect_registry(self, put):
+    def _collect_registry(self, now, seen):
+        plans = self._plans
         for name in self.registry.names():
             metric = self.registry.get(name)
+            is_histogram = metric.kind == "histogram"
             for labelvalues, child in metric.children():
-                labels = dict(zip(metric.labelnames, labelvalues))
-                if metric.kind == "histogram":
-                    put(f"{name}_count", labels, float(child.count))
-                    put(f"{name}_sum", labels, child.total)
-                    if child.count:
-                        for quantile_label, q in self.QUANTILES:
-                            value = child.bucket_percentile(q)
-                            put(name, {**labels, "quantile": quantile_label},
-                                value)
+                plan_key = (name, labelvalues)
+                plan = plans.get(plan_key)
+                if plan is None:
+                    labels = dict(zip(metric.labelnames, labelvalues))
+                    if is_histogram:
+                        plan = (
+                            _SeriesHandle(f"{name}_count", labels),
+                            _SeriesHandle(f"{name}_sum", labels),
+                            tuple(
+                                (q, _SeriesHandle(
+                                    name, {**labels, "quantile": quantile}))
+                                for quantile, q in self.QUANTILES
+                            ),
+                        )
+                    else:
+                        plan = _SeriesHandle(name, labels)
+                    plans[plan_key] = plan
+                if is_histogram:
+                    count_handle, sum_handle, quantile_plan = plan
+                    count = child.count
+                    self._emit(count_handle, now, float(count), seen)
+                    self._emit(sum_handle, now, child.total, seen)
+                    if count:
+                        # No new observations since the last scrape means
+                        # identical buckets, hence identical quantiles —
+                        # skip the percentile walk for idle histograms.
+                        cached = self._quantile_cache.get(plan_key)
+                        if cached is None or cached[0] != count:
+                            cached = (count, [child.bucket_percentile(q)
+                                              for q, _h in quantile_plan])
+                            self._quantile_cache[plan_key] = cached
+                        values = cached[1]
+                        for i, (_q, handle) in enumerate(quantile_plan):
+                            self._emit(handle, now, values[i], seen)
                 else:
-                    put(name, labels, child.value)
+                    self._emit(plan, now, child.value, seen)

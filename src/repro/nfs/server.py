@@ -96,12 +96,17 @@ class NfsServer:
                 help="NFS operations refused (stale mount or outage)")
         else:
             self._m_ops = self._m_errors = None
+        self._op_children = {}
 
     def record_op(self, op, ok=True):
         if self._m_ops is not None:
-            self._m_ops.labels(op=op).inc()
+            pair = self._op_children.get(op)
+            if pair is None:
+                pair = self._op_children[op] = (
+                    self._m_ops.labels(op=op), self._m_errors.labels(op=op))
+            pair[0].inc()
             if not ok:
-                self._m_errors.labels(op=op).inc()
+                pair[1].inc()
 
     def create_volume(self, name, exist_ok=False):
         if name in self._volumes:

@@ -65,15 +65,19 @@ class RaftNode:
         self.tracer = tracer
         self.events = events
         if metrics is not None:
+            # Children bound once: node_id is fixed for the node's life.
             self._m_elections = metrics.counter(
                 "raft_leader_elections_total", ("node",),
-                help="Times this node won a leader election")
+                help="Times this node won a leader election"
+            ).labels(node=node_id)
             self._m_commit_dur = metrics.histogram(
                 "raft_commit_duration_seconds", ("node",),
-                help="Leader-side propose-to-commit latency")
+                help="Leader-side propose-to-commit latency"
+            ).labels(node=node_id)
             self._m_applied = metrics.counter(
                 "raft_applied_entries_total", ("node",),
-                help="Log entries applied to the state machine")
+                help="Log entries applied to the state machine"
+            ).labels(node=node_id)
         else:
             self._m_elections = self._m_commit_dur = self._m_applied = None
         # Compact the log once this many entries have been applied
@@ -195,7 +199,7 @@ class RaftNode:
         self._match_index = {p: 0 for p in self.peer_ids}
         self._trace("elected", term=self.current_term)
         if self._m_elections is not None:
-            self._m_elections.labels(node=self.node_id).inc()
+            self._m_elections.inc()
         if self.events is not None:
             self.events.emit_event(
                 "Normal", "LeaderElected", "EtcdNode", self.node_id,
@@ -329,7 +333,7 @@ class RaftNode:
         self._advance_commit()  # single-node clusters commit immediately
         result = yield waiter
         if self._m_commit_dur is not None:
-            self._m_commit_dur.labels(node=self.node_id).observe(
+            self._m_commit_dur.observe(
                 self.kernel.now - proposed)
         return result
 
@@ -417,7 +421,9 @@ class RaftNode:
             # Caught up: idle until new entries or the heartbeat interval.
             poke = self.kernel.event()
             self._pokes[peer] = poke
-            yield self.kernel.any_of([poke, self.kernel.sleep(self.timings.heartbeat)])
+            timer = self.kernel.sleep(self.timings.heartbeat)
+            yield self.kernel.any_of([poke, timer])
+            timer.cancel()
 
     def _send_snapshot(self, peer, term):
         """Ship the current snapshot to a lagging peer.
@@ -471,7 +477,7 @@ class RaftNode:
             entry = self.log.entry_at(self.last_applied)
             result = self.state_machine.apply(entry.command)
             if self._m_applied is not None:
-                self._m_applied.labels(node=self.node_id).inc()
+                self._m_applied.inc()
             waiter = self._waiters.pop(self.last_applied, None)
             if waiter is not None:
                 term, event = waiter

@@ -6,6 +6,8 @@ retries) and lease bookkeeping (time is carried *inside* commands, so
 replay stays deterministic).
 """
 
+from bisect import bisect_left, insort
+
 from .errors import RaftError
 
 
@@ -29,6 +31,10 @@ class KvStateMachine:
 
     def __init__(self, watch_hub=None):
         self.data = {}
+        # Keys kept in sorted order (bisect-maintained), so range()
+        # serves prefix scans from a window instead of re-sorting the
+        # whole keyspace on every read.
+        self._sorted_keys = []
         self.revision = 0
         self.key_revisions = {}
         # client_id -> (seq, cached result): exactly-once under retries.
@@ -75,6 +81,8 @@ class KvStateMachine:
                 return {"ok": False, "error": "lease not found"}
             lease["keys"].add(key)
         self.revision += 1
+        if key not in self.data:
+            insort(self._sorted_keys, key)
         self.data[key] = value
         self.key_revisions[key] = self.revision
         self._notify("put", key, value)
@@ -85,17 +93,17 @@ class KvStateMachine:
         if key not in self.data:
             return {"ok": True, "deleted": 0, "revision": self.revision}
         self.revision += 1
-        del self.data[key]
+        self._remove_key(key)
         self.key_revisions.pop(key, None)
         self._notify("delete", key, None)
         return {"ok": True, "deleted": 1, "revision": self.revision}
 
     def _apply_delete_prefix(self, command):
         prefix = command["prefix"]
-        victims = [key for key in self.data if key.startswith(prefix)]
-        for key in sorted(victims):
+        victims = [key for key, _value in self.range(prefix)]
+        for key in victims:
             self.revision += 1
-            del self.data[key]
+            self._remove_key(key)
             self.key_revisions.pop(key, None)
             self._notify("delete", key, None)
         return {"ok": True, "deleted": len(victims), "revision": self.revision}
@@ -132,6 +140,10 @@ class KvStateMachine:
             return {"ok": False, "error": "lease refreshed since proposal"}
         return self._revoke(command["lease_id"])
 
+    def _remove_key(self, key):
+        del self.data[key]
+        del self._sorted_keys[bisect_left(self._sorted_keys, key)]
+
     def _revoke(self, lease_id):
         lease = self.leases.pop(lease_id, None)
         if lease is None:
@@ -140,7 +152,7 @@ class KvStateMachine:
         for key in sorted(lease["keys"]):
             if key in self.data:
                 self.revision += 1
-                del self.data[key]
+                self._remove_key(key)
                 self.key_revisions.pop(key, None)
                 self._notify("delete", key, None)
                 deleted += 1
@@ -160,7 +172,18 @@ class KvStateMachine:
 
     def range(self, prefix):
         """All (key, value) pairs under ``prefix``, sorted by key."""
-        return [(k, self.data[k]) for k in sorted(self.data) if k.startswith(prefix)]
+        keys = self._sorted_keys
+        data = self.data
+        out = []
+        i = bisect_left(keys, prefix)
+        n = len(keys)
+        while i < n:
+            key = keys[i]
+            if not key.startswith(prefix):
+                break
+            out.append((key, data[key]))
+            i += 1
+        return out
 
     # ------------------------------------------------------------------
     # Snapshots (Raft log compaction)
@@ -168,13 +191,13 @@ class KvStateMachine:
 
     def to_snapshot(self):
         """A deep, self-contained image of the replicated state."""
-        import copy
+        from ..grpcnet.payload import deep_copy_payload
 
         return {
-            "data": copy.deepcopy(self.data),
+            "data": deep_copy_payload(self.data),
             "revision": self.revision,
             "key_revisions": dict(self.key_revisions),
-            "sessions": copy.deepcopy(self.sessions),
+            "sessions": deep_copy_payload(self.sessions),
             "leases": {
                 lease_id: {"ttl": lease["ttl"], "expires_at": lease["expires_at"],
                            "keys": set(lease["keys"])}
@@ -184,13 +207,14 @@ class KvStateMachine:
 
     @classmethod
     def from_snapshot(cls, snapshot, watch_hub=None):
-        import copy
+        from ..grpcnet.payload import deep_copy_payload
 
         sm = cls(watch_hub=watch_hub)
-        sm.data = copy.deepcopy(snapshot["data"])
+        sm.data = deep_copy_payload(snapshot["data"])
+        sm._sorted_keys = sorted(sm.data)
         sm.revision = snapshot["revision"]
         sm.key_revisions = dict(snapshot["key_revisions"])
-        sm.sessions = copy.deepcopy(snapshot["sessions"])
+        sm.sessions = deep_copy_payload(snapshot["sessions"])
         sm.leases = {
             lease_id: {"ttl": lease["ttl"], "expires_at": lease["expires_at"],
                        "keys": set(lease["keys"])}

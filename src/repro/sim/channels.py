@@ -35,7 +35,8 @@ class Channel:
 
     def get(self):
         """Return an event that succeeds with the next item."""
-        event = self._kernel.event(name=f"get({self.name})")
+        kernel = self._kernel
+        event = kernel.event(name=f"get({self.name})" if kernel.debug else "")
         if self._items:
             event.succeed(self._items.popleft())
         elif self.closed:

@@ -5,11 +5,21 @@ An :class:`Event` starts pending, and is triggered exactly once — either
 exception. Processes wait on events by yielding them from their
 generator; the kernel resumes the process with the event's value (or
 throws the event's exception into it).
+
+Cancellation: a pending event that nobody will ever wait on again can be
+defused with :meth:`Event.cancel` — it drops its callbacks and will
+never trigger. Timers (see :class:`repro.sim.kernel.Timer`) extend this
+with lazy heap deletion: the cancelled entry stays in the kernel's heap
+and is skipped (counted, not dispatched) when it pops. Cancelling an
+event another process still waits on would strand that process, so only
+cancel events you own exclusively — e.g. the losing timer of a
+deadline race.
 """
 
 PENDING = "pending"
 SUCCEEDED = "succeeded"
 FAILED = "failed"
+CANCELLED = "cancelled"
 
 
 class Event:
@@ -25,16 +35,20 @@ class Event:
 
     @property
     def triggered(self):
-        return self.state != PENDING
+        return self.state is not PENDING
 
     @property
     def ok(self):
-        return self.state == SUCCEEDED
+        return self.state is SUCCEEDED
+
+    @property
+    def cancelled(self):
+        return self.state is CANCELLED
 
     def succeed(self, value=None):
         """Trigger the event successfully, waking all waiters."""
-        if self.triggered:
-            raise RuntimeError(f"event {self.name!r} already triggered")
+        if self.state is not PENDING:
+            raise RuntimeError(f"event {self.name!r} already {self.state}")
         self.state = SUCCEEDED
         self.value = value
         self._dispatch()
@@ -42,8 +56,8 @@ class Event:
 
     def fail(self, exception):
         """Trigger the event with an exception, which waiters receive."""
-        if self.triggered:
-            raise RuntimeError(f"event {self.name!r} already triggered")
+        if self.state is not PENDING:
+            raise RuntimeError(f"event {self.name!r} already {self.state}")
         if not isinstance(exception, BaseException):
             raise TypeError("fail() requires an exception instance")
         self.state = FAILED
@@ -51,28 +65,57 @@ class Event:
         self._dispatch()
         return self
 
+    def cancel(self):
+        """Defuse a pending event: it will never trigger, and its
+        callbacks are dropped.
+
+        Only the exclusive owner of an event may cancel it — a waiter
+        added later would never wake. No-op once triggered, and when the
+        kernel runs with ``timer_cancellation=False`` (the bit-compatible
+        slow path used by the timeline-equivalence tests).
+        """
+        if self.state is PENDING and self._kernel._timer_cancellation:
+            self.state = CANCELLED
+            self._callbacks = None
+
     def add_callback(self, callback):
         """Register ``callback(event)``; runs at trigger time.
 
         If the event has already triggered, the callback is scheduled to
         run immediately (at the current simulated instant).
         """
-        if self.triggered:
-            self._kernel._schedule_now(lambda: callback(self))
-        else:
+        if self.state is PENDING:
             self._callbacks.append(callback)
+        elif self.state is CANCELLED:
+            raise RuntimeError(f"event {self.name!r} was cancelled")
+        else:
+            self._kernel._schedule_now(lambda: callback(self))
 
     def remove_callback(self, callback):
         """Unregister a pending callback; ignores unknown callbacks."""
-        try:
-            self._callbacks.remove(callback)
-        except ValueError:
-            pass
+        if self._callbacks:
+            try:
+                self._callbacks.remove(callback)
+            except ValueError:
+                pass
 
     def _dispatch(self):
-        callbacks, self._callbacks = self._callbacks, []
+        # One queue entry runs every registered callback in order. This
+        # is order-equivalent to scheduling one entry per callback:
+        # callbacks still run in registration order, and anything they
+        # schedule lands at a later sequence number, hence after the
+        # whole batch — exactly as before.
+        callbacks = self._callbacks
+        self._callbacks = ()
+        if callbacks:
+            self._pending_dispatch = callbacks
+            self._kernel._schedule_now(self._run_dispatch)
+
+    def _run_dispatch(self):
+        callbacks = self._pending_dispatch
+        self._pending_dispatch = None
         for callback in callbacks:
-            self._kernel._schedule_now(lambda cb=callback: cb(self))
+            callback(self)
 
     def __repr__(self):
         return f"<Event {self.name!r} {self.state}>"
@@ -82,7 +125,10 @@ class AnyOf(Event):
     """Succeeds when any child event triggers.
 
     The value is a ``(event, value)`` pair for the first child that
-    triggered. A failing child fails the composite.
+    triggered. A failing child fails the composite. On first trigger the
+    composite detaches its callback from the losing children, so a
+    long-lived loser (a watch, a stop event) does not accumulate dead
+    callbacks across races.
     """
 
     def __init__(self, kernel, events, name="any-of"):
@@ -94,19 +140,25 @@ class AnyOf(Event):
             event.add_callback(self._on_child)
 
     def _on_child(self, event):
-        if self.triggered:
+        if self.state is not PENDING:
             return
-        if event.state == FAILED:
+        if event.state is FAILED:
             self.fail(event.exception)
         else:
             self.succeed((event, event.value))
+        if self._kernel._timer_cancellation:
+            on_child = self._on_child
+            for other in self.events:
+                if other is not event and other.state is PENDING:
+                    other.remove_callback(on_child)
 
 
 class AllOf(Event):
     """Succeeds when every child event has succeeded.
 
     The value is the list of child values, in the order the children
-    were given. The first failing child fails the composite.
+    were given. The first failing child fails the composite and detaches
+    from the still-pending children.
     """
 
     def __init__(self, kernel, events, name="all-of"):
@@ -122,10 +174,15 @@ class AllOf(Event):
             event.add_callback(self._on_child)
 
     def _on_child(self, event):
-        if self.triggered:
+        if self.state is not PENDING:
             return
-        if event.state == FAILED:
+        if event.state is FAILED:
             self.fail(event.exception)
+            if self._kernel._timer_cancellation:
+                on_child = self._on_child
+                for other in self.events:
+                    if other is not event and other.state is PENDING:
+                        other.remove_callback(on_child)
             return
         self._remaining -= 1
         if self._remaining == 0:

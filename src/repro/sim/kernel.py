@@ -10,26 +10,80 @@ yielded triggers, passing the waitable's value back into the generator
 Determinism: with a fixed seed, every run produces an identical trace.
 Ties in time are broken by insertion order, and all randomness flows
 through named, independently seeded RNG streams (:meth:`Kernel.rng`).
+
+Timers are cancellable with lazy heap deletion: :meth:`Kernel.sleep`
+returns a :class:`Timer` that is its own heap entry (no per-sleep
+closure). Cancelling it leaves the entry in the heap marked dead; when
+it pops, the kernel counts it (``dead_entries_skipped``) and does
+nothing else — the surviving timeline is bit-identical to the one where
+the timer fired into zero callbacks. ``timer_cancellation=False``
+restores the pre-optimization behavior for equivalence testing.
 """
 
 import heapq
 import random
 
 from .errors import SimError
-from .events import AllOf, AnyOf, Event
+from .events import AllOf, AnyOf, CANCELLED, Event, PENDING
 from .process import Process
+
+
+class Timer(Event):
+    """A cancellable sleep: the event and its heap callback fused into
+    one object, so ``sleep()`` allocates nothing beyond the event.
+
+    The kernel heap holds the timer itself as the entry's callback;
+    :meth:`__call__` fires it, or skips it when it was cancelled.
+    """
+
+    def __init__(self, kernel, value=None):
+        Event.__init__(self, kernel)
+        self._value = value
+
+    def __call__(self):
+        state = self.state
+        if state is PENDING:
+            self.succeed(self._value)
+        elif state is CANCELLED:
+            kernel = self._kernel
+            kernel.dead_entries_skipped += 1
+            kernel._dead_pending -= 1
+
+    def cancel(self):
+        """Defuse the timer; its heap entry is lazily skipped on pop."""
+        if self.state is PENDING and self._kernel._timer_cancellation:
+            self.state = CANCELLED
+            self._callbacks = None
+            kernel = self._kernel
+            kernel.timers_cancelled += 1
+            kernel._dead_pending += 1
 
 
 class Kernel:
     """Discrete-event simulation kernel with generator-based processes."""
 
-    def __init__(self, seed=0):
+    #: When True, components may attach human-readable names to hot-path
+    #: events/processes (RPC calls, channel gets). Off by default: the
+    #: f-string formatting alone is measurable at scale.
+    debug = False
+
+    def __init__(self, seed=0, timer_cancellation=True):
         self._now = 0.0
         self._queue = []
         self._sequence = 0
         self._seed = seed
         self._rngs = {}
         self.processes = []
+        # Fast-path switch: False replays the pre-cancellation event
+        # order exactly (every timer fires; AnyOf/AllOf keep dead
+        # callbacks), for bit-for-bit timeline-equivalence tests.
+        self._timer_cancellation = timer_cancellation
+        # Perf counters (exposed as kernel_* metrics by the monitoring
+        # scraper; see MetricsScraper).
+        self.events_processed = 0
+        self.timers_cancelled = 0
+        self.dead_entries_skipped = 0
+        self._dead_pending = 0
 
     # ------------------------------------------------------------------
     # Time
@@ -40,6 +94,18 @@ class Kernel:
         """Current simulated time, in seconds."""
         return self._now
 
+    @property
+    def dead_entry_ratio(self):
+        """Fraction of heap pops that were cancelled timers."""
+        if not self.events_processed:
+            return 0.0
+        return self.dead_entries_skipped / self.events_processed
+
+    @property
+    def dead_entries_pending(self):
+        """Cancelled timers still sitting in the heap (lazy deletion)."""
+        return self._dead_pending
+
     def _schedule_at(self, when, callback):
         if when < self._now:
             raise SimError(f"cannot schedule in the past ({when} < {self._now})")
@@ -47,7 +113,8 @@ class Kernel:
         heapq.heappush(self._queue, (when, self._sequence, callback))
 
     def _schedule_now(self, callback):
-        self._schedule_at(self._now, callback)
+        self._sequence += 1
+        heapq.heappush(self._queue, (self._now, self._sequence, callback))
 
     # ------------------------------------------------------------------
     # Waitables
@@ -58,12 +125,15 @@ class Kernel:
         return Event(self, name=name)
 
     def sleep(self, delay, value=None):
-        """Return an event that succeeds ``delay`` seconds from now."""
+        """Return a :class:`Timer` that succeeds ``delay`` seconds from
+        now. The caller that owns it exclusively may ``cancel()`` it
+        (e.g. after losing a deadline race)."""
         if delay < 0:
             raise ValueError(f"negative sleep: {delay}")
-        event = Event(self, name=f"sleep({delay})")
-        self._schedule_at(self._now + delay, lambda: event.succeed(value))
-        return event
+        timer = Timer(self, value)
+        self._sequence += 1
+        heapq.heappush(self._queue, (self._now + delay, self._sequence, timer))
+        return timer
 
     def timeout(self, delay, value=None):
         """Alias of :meth:`sleep`, for SimPy familiarity."""
@@ -111,10 +181,12 @@ class Kernel:
 
     def step(self):
         """Execute the next scheduled callback; returns False when empty."""
-        if not self._queue:
+        queue = self._queue
+        if not queue:
             return False
-        when, _seq, callback = heapq.heappop(self._queue)
+        when, _seq, callback = heapq.heappop(queue)
         self._now = when
+        self.events_processed += 1
         callback()
         return True
 
@@ -127,12 +199,20 @@ class Kernel:
         """
         if until is not None and until < self._now:
             raise SimError(f"run(until={until}) is in the past (now={self._now})")
-        while self._queue:
-            when, _seq, _cb = self._queue[0]
-            if until is not None and when > until:
-                break
-            self.step()
-        if until is not None:
+        queue = self._queue
+        pop = heapq.heappop
+        if until is None:
+            while queue:
+                when, _seq, callback = pop(queue)
+                self._now = when
+                self.events_processed += 1
+                callback()
+        else:
+            while queue and queue[0][0] <= until:
+                when, _seq, callback = pop(queue)
+                self._now = when
+                self.events_processed += 1
+                callback()
             self._now = until
 
     def run_until_complete(self, process, limit=None):
@@ -143,11 +223,20 @@ class Kernel:
         seconds pass) before the process completes.
         """
         deadline = None if limit is None else self._now + limit
-        while not process.triggered:
-            if deadline is not None and self._queue and self._queue[0][0] > deadline:
+        queue = self._queue
+        pop = heapq.heappop
+        while process.state is PENDING:
+            if deadline is not None and (
+                self._now > deadline
+                or (queue and queue[0][0] > deadline)
+            ):
                 raise SimError(f"process {process.name!r} did not finish within {limit}s")
-            if not self.step():
+            if not queue:
                 raise SimError(f"deadlock: queue drained before {process.name!r} finished")
+            when, _seq, callback = pop(queue)
+            self._now = when
+            self.events_processed += 1
+            callback()
         if process.state == "failed":
             raise process.exception
         return process.value

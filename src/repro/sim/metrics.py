@@ -17,6 +17,7 @@ REST layer serves.
 import math
 import re
 import statistics
+from bisect import bisect_left
 
 _NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_.]*$")
 _LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
@@ -47,19 +48,25 @@ class _Family:
             if not _LABEL_RE.match(label):
                 raise ValueError(f"invalid label name {label!r}")
         self._children = {}
+        self._sorted_children = None
 
     def labels(self, **labelvalues):
         """The child for one combination of label values."""
-        if set(labelvalues) != set(self.labelnames):
+        names = self.labelnames
+        try:
+            key = tuple([str(labelvalues[label]) for label in names])
+        except KeyError:
+            key = None
+        if key is None or len(labelvalues) != len(names):
             raise ValueError(
                 f"metric {self.name!r} takes labels {self.labelnames}, "
                 f"got {tuple(sorted(labelvalues))}"
             )
-        key = tuple(str(labelvalues[label]) for label in self.labelnames)
         child = self._children.get(key)
         if child is None:
             child = self._new_child()
             self._children[key] = child
+            self._sorted_children = None
         return child
 
     def _default(self):
@@ -71,8 +78,14 @@ class _Family:
         return self.labels()
 
     def children(self):
-        """Sorted ``(labelvalues_tuple, child)`` pairs."""
-        return sorted(self._children.items())
+        """Sorted ``(labelvalues_tuple, child)`` pairs.
+
+        Cached between calls; creating a new child invalidates the
+        cache. Callers must treat the list as read-only.
+        """
+        if self._sorted_children is None:
+            self._sorted_children = sorted(self._children.items())
+        return self._sorted_children
 
 
 class _CounterChild:
@@ -147,11 +160,16 @@ class _HistogramChild:
     (snapshots, exposition) don't re-sort an unchanged sample set.
     """
 
-    __slots__ = ("buckets", "bucket_counts", "samples", "total", "_sorted")
+    __slots__ = ("buckets", "samples", "total", "_sorted", "_deltas",
+                 "_cumulative")
 
     def __init__(self, buckets=DEFAULT_BUCKETS):
         self.buckets = tuple(buckets)
-        self.bucket_counts = [0] * (len(self.buckets) + 1)  # +Inf last
+        # Per-bucket (non-cumulative) counts; +Inf last. The Prometheus
+        # cumulative view is derived lazily, so observe() is a single
+        # bisect instead of a walk over every bucket.
+        self._deltas = [0] * (len(self.buckets) + 1)
+        self._cumulative = None
         self.samples = []
         self.total = 0.0
         self._sorted = None
@@ -160,10 +178,21 @@ class _HistogramChild:
         self.samples.append(value)
         self.total += value
         self._sorted = None
-        for index, bound in enumerate(self.buckets):
-            if value <= bound:
-                self.bucket_counts[index] += 1
-        self.bucket_counts[-1] += 1
+        self._cumulative = None
+        self._deltas[bisect_left(self.buckets, value)] += 1
+
+    @property
+    def bucket_counts(self):
+        """Cumulative bucket counts (Prometheus ``le`` semantics);
+        +Inf last. Read-only view, rebuilt after observations."""
+        counts = self._cumulative
+        if counts is None:
+            counts = self._cumulative = []
+            running = 0
+            for delta in self._deltas:
+                running += delta
+                counts.append(running)
+        return counts
 
     @property
     def count(self):
@@ -205,14 +234,15 @@ class _HistogramChild:
         """
         if not 0 <= q <= 100:
             raise ValueError(f"percentile out of range: {q}")
-        total = self.bucket_counts[-1]
+        counts = self.bucket_counts
+        total = counts[-1]
         if total == 0:
             return None
         rank = max(1, math.ceil(q / 100.0 * total))
         for index, bound in enumerate(self.buckets):
-            cumulative = self.bucket_counts[index]
+            cumulative = counts[index]
             if cumulative >= rank:
-                below = self.bucket_counts[index - 1] if index else 0
+                below = counts[index - 1] if index else 0
                 lower = self.buckets[index - 1] if index else 0.0
                 in_bucket = cumulative - below
                 fraction = (rank - below) / in_bucket

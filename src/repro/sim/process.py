@@ -29,7 +29,10 @@ class Process(Event):
         self._generator = generator
         self._waiting_on = None
         self._pending_kill = None
-        kernel._schedule_now(lambda: self._resume(None))
+        kernel._schedule_now(self._start)
+
+    def _start(self):
+        self._resume(None)
 
     @property
     def alive(self):

@@ -55,18 +55,24 @@ class WorkQueue:
         self._enqueued_at = {}  # key -> enqueue time, for queue latency
         # Kubernetes workqueue metric names, labeled by queue name.
         if metrics is not None:
+            # Children bound once: the queue name never changes, and
+            # labels() per enqueue is measurable on the hot path.
             self._m_depth = metrics.gauge(
                 "workqueue_depth", ("name",),
-                help="Keys currently waiting in the work queue")
+                help="Keys currently waiting in the work queue"
+            ).labels(name=name)
             self._m_adds = metrics.counter(
                 "workqueue_adds_total", ("name",),
-                help="Keys added to the work queue (incl. coalesced)")
+                help="Keys added to the work queue (incl. coalesced)"
+            ).labels(name=name)
             self._m_queue_dur = metrics.histogram(
                 "workqueue_queue_duration_seconds", ("name",),
-                help="Time keys wait in the queue before dispatch")
+                help="Time keys wait in the queue before dispatch"
+            ).labels(name=name)
             self._m_retries = metrics.counter(
                 "workqueue_retries_total", ("name",),
-                help="Keys requeued after a failed reconcile")
+                help="Keys requeued after a failed reconcile"
+            ).labels(name=name)
         else:
             self._m_depth = self._m_adds = None
             self._m_queue_dur = self._m_retries = None
@@ -76,7 +82,7 @@ class WorkQueue:
 
     def _set_depth(self):
         if self._m_depth is not None:
-            self._m_depth.labels(name=self.name).set(len(self._ready))
+            self._m_depth.set(len(self._ready))
 
     def add(self, key):
         """Enqueue ``key`` now; a duplicate of a queued key coalesces."""
@@ -84,7 +90,7 @@ class WorkQueue:
             return
         self.adds += 1
         if self._m_adds is not None:
-            self._m_adds.labels(name=self.name).inc()
+            self._m_adds.inc()
         if key in self._queued:
             self.coalesced += 1
             return
@@ -102,8 +108,7 @@ class WorkQueue:
     def _dispatch_metrics(self, key):
         enqueued = self._enqueued_at.pop(key, None)
         if self._m_queue_dur is not None and enqueued is not None:
-            self._m_queue_dur.labels(name=self.name).observe(
-                self._kernel.now - enqueued)
+            self._m_queue_dur.observe(self._kernel.now - enqueued)
 
     def add_after(self, key, delay):
         """Enqueue ``key`` after ``delay`` seconds.
@@ -136,7 +141,7 @@ class WorkQueue:
         failures = self._failures.get(key, 0) + 1
         self._failures[key] = failures
         if self._m_retries is not None:
-            self._m_retries.labels(name=self.name).inc()
+            self._m_retries.inc()
         delay = min(self.backoff_base * (2 ** (failures - 1)), self.backoff_max)
         self.add_after(key, delay)
         return delay
@@ -267,7 +272,8 @@ class Reconciler:
         if metrics is not None:
             self._m_work_dur = metrics.histogram(
                 "workqueue_work_duration_seconds", ("name",),
-                help="Time spent running reconcile(key)")
+                help="Time spent running reconcile(key)"
+            ).labels(name=name)
         else:
             self._m_work_dur = None
         self.sources = []
@@ -445,5 +451,4 @@ class Reconciler:
                     self.queue.add_after(key, result)
             finally:
                 if self._m_work_dur is not None:
-                    self._m_work_dur.labels(name=self.name).observe(
-                        self.kernel.now - started)
+                    self._m_work_dur.observe(self.kernel.now - started)

@@ -107,6 +107,12 @@ class TimeSeriesStore:
         self.retention = retention
         self.max_samples = max_samples
         self._series = {}
+        # name -> sorted [(labels, series)] cache: series() is on the
+        # alert engine's per-tick path, and without the index every rule
+        # evaluation re-sorted the whole store. Series creation is
+        # append-only, so the per-name cache only invalidates then.
+        self._by_name = {}
+        self._sorted_by_name = {}
         self._overrides = {}  # name -> (retention, max_samples)
 
     def configure(self, name, retention=None, max_samples=None):
@@ -125,6 +131,8 @@ class TimeSeriesStore:
             series = TimeSeries(name, key[1], retention=retention,
                                 max_samples=max_samples)
             self._series[key] = series
+            self._by_name.setdefault(name, {})[key[1]] = series
+            self._sorted_by_name.pop(name, None)
         return series
 
     def add(self, name, labels, time, value):
@@ -138,16 +146,32 @@ class TimeSeriesStore:
     def get(self, name, labels=()):
         return self._series.get((name, canonical_labels(labels)))
 
+    def _sorted_group(self, name):
+        group = self._sorted_by_name.get(name)
+        if group is None:
+            by_labels = self._by_name.get(name)
+            if not by_labels:
+                return []
+            group = [series for _labels, series in sorted(by_labels.items())]
+            self._sorted_by_name[name] = group
+        return group
+
     def series(self, name=None, **match):
         """Series filtered by name and label-subset match, sorted."""
         wanted = canonical_labels(match)
+        if name is not None:
+            group = self._sorted_group(name)
+            if not wanted:
+                return list(group)
+            wanted_set = set(wanted)
+            return [series for series in group
+                    if wanted_set <= set(series.labels)]
         out = []
-        for (series_name, labels), series in sorted(self._series.items()):
-            if name is not None and series_name != name:
-                continue
-            if wanted and not set(wanted) <= set(labels):
-                continue
-            out.append(series)
+        for series_name in sorted(self._by_name):
+            for series in self._sorted_group(series_name):
+                if wanted and not set(wanted) <= set(series.labels):
+                    continue
+                out.append(series)
         return out
 
     def names(self):

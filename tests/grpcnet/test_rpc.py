@@ -357,3 +357,47 @@ class TestServiceTimeAndPrefix:
             return response
 
         assert run_call(kernel, caller()) == "started"
+
+
+class TestSingleSerializationBoundary:
+    def test_copy_responses_isolates_server_state(self, kernel, network):
+        """With copy_responses=True the handler may return a live
+        reference; the boundary copies it once, so the caller's
+        mutations never reach the server's state."""
+        state = {"status": "RUNNING", "history": ["QUEUED"]}
+        server = Server(kernel, network, "svc", copy_responses=True)
+        server.add_method("get", lambda _request: state)
+        server.start()
+
+        def caller():
+            response = yield network.call("svc", "get", None)
+            return response
+
+        response = run_call(kernel, caller())
+        assert response == state
+        response["status"] = "MUTATED"
+        response["history"].append("MUTATED")
+        assert state == {"status": "RUNNING", "history": ["QUEUED"]}
+
+    def test_freeze_check_catches_request_mutation(self, kernel):
+        """debug_freeze snapshots each request and asserts the handler
+        did not mutate it in place."""
+        network = Network(kernel, latency=LatencyModel(base=0.001, jitter=0.0),
+                          debug_freeze=True)
+        server = Server(kernel, network, "svc").start()
+
+        def mutating(request):
+            request["dirty"] = True
+            return "ok"
+
+        server.add_method("mutate", mutating)
+        server.add_method("clean", lambda request: dict(request))
+
+        def call(method):
+            def caller():
+                return (yield network.call("svc", method, {"a": 1}))
+            return run_call(kernel, caller())
+
+        assert call("clean") == {"a": 1}
+        with pytest.raises(AssertionError, match="mutated its request"):
+            call("mutate")

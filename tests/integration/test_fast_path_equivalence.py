@@ -1,0 +1,117 @@
+"""The fast path must be invisible: bit-identical timelines.
+
+``PlatformConfig(sim_fast_path=False)`` reverts every
+scheduling-visible optimization of the simulator fast path — timer
+cancellation (every timer fires into dead callbacks again), the
+docstore query planner (full scans), and copy-on-read elision (deep
+copy on every read). Running the same seeded scenario both ways and
+comparing the *complete* trace — every tracer record, every job's
+status history with timestamps, and the final simulated clock — proves
+the optimizations changed only wall-clock time, never the simulation.
+
+The chaos scenario matters most: crashes drive deadline-RPC races
+(AnyOf timeout losers), Guardian recovery (the paper's Fig. 4 bands),
+and fail-over retries — exactly the machinery the fast path touches.
+"""
+
+from repro.core import ComponentCrasher
+
+from .conftest import make_platform, manifest
+
+
+def full_timeline(platform, docs):
+    trace = [(round(r.time, 9), r.component, r.kind)
+             for r in platform.tracer.records]
+    histories = [
+        [(h["status"], round(h["time"], 9)) for h in doc["status_history"]]
+        for doc in docs
+    ]
+    return trace, histories, round(platform.kernel.now, 9)
+
+
+def run_batch(fast, seed=11, jobs=3):
+    platform = make_platform(seed=seed, sim_fast_path=fast)
+    client = platform.client("team")
+
+    def scenario():
+        ids = []
+        for i in range(jobs):
+            spec = manifest(target_steps=60)
+            spec["name"] = f"eq-{i}"
+            ids.append((yield from client.submit(spec)))
+        docs = []
+        for job_id in ids:
+            docs.append((yield from client.wait_for_status(job_id,
+                                                           timeout=20_000)))
+        return docs
+
+    docs = platform.run_process(scenario(), limit=100_000)
+    platform.run_for(20.0)
+    return full_timeline(platform, docs), platform
+
+
+def run_chaos(fast, seed=29):
+    """One checkpointing job through a learner crash and a Guardian
+    crash — the Fig. 4 recovery bands — plus a batch sibling."""
+    platform = make_platform(seed=seed, sim_fast_path=fast)
+    client = platform.client("team")
+
+    def submit():
+        job_id = yield from client.submit(
+            manifest(target_steps=240, checkpoint_interval=15.0))
+        yield from client.wait_for_status(job_id, statuses={"PROCESSING"},
+                                          timeout=2000)
+        return job_id
+
+    job_id = platform.run_process(submit(), limit=10_000)
+    crasher = ComponentCrasher(platform)
+    crasher.crash_learner(job_id)
+    platform.run_for(30.0)
+    crasher.crash_guardian(job_id)
+
+    def finish():
+        return (yield from client.wait_for_status(job_id, timeout=50_000))
+
+    doc = platform.run_process(finish(), limit=200_000)
+    platform.run_for(20.0)
+    return full_timeline(platform, [doc]), platform
+
+
+class TestTimelineEquivalence:
+    def test_batch_identical(self):
+        fast, fast_platform = run_batch(fast=True)
+        slow, slow_platform = run_batch(fast=False)
+        assert fast == slow
+        # The fast run actually exercised cancellation.
+        assert fast_platform.kernel.timers_cancelled > 0
+        assert slow_platform.kernel.timers_cancelled == 0
+
+    def test_chaos_recovery_identical(self):
+        fast, fast_platform = run_chaos(fast=True)
+        slow, _ = run_chaos(fast=False)
+        assert fast == slow
+        assert fast_platform.kernel.timers_cancelled > 0
+
+    def test_fast_path_is_default(self):
+        platform = make_platform()
+        assert platform.config.sim_fast_path is True
+        assert platform.kernel._timer_cancellation is True
+
+
+class TestDeadEntryBounds:
+    def test_dead_entries_bounded_under_chaos(self):
+        """Lazy deletion must not let cancelled timers pile up: every
+        cancelled timer is eventually popped (and counted) or still
+        pending, and the pending backlog stays small relative to the
+        work done."""
+        _timeline, platform = run_chaos(fast=True)
+        kernel = platform.kernel
+        assert kernel.timers_cancelled > 0
+        # Conservation: cancelled timers are either already skipped at
+        # pop or still waiting in the heap.
+        assert (kernel.dead_entries_skipped + kernel.dead_entries_pending
+                == kernel.timers_cancelled)
+        # The heap backlog of dead entries stays bounded — a small
+        # fraction of total events, not an ever-growing tail.
+        assert kernel.dead_entries_pending < 0.05 * kernel.events_processed
+        assert kernel.dead_entry_ratio < 0.5
