@@ -1,4 +1,4 @@
-.PHONY: check test lint bench perf profile
+.PHONY: check test lint bench perf perf-sharded profile
 
 check:
 	scripts/check.sh
@@ -14,6 +14,9 @@ bench:
 
 perf:
 	PYTHONPATH=src python benchmarks/bench_perf.py
+
+perf-sharded:
+	PYTHONPATH=src python benchmarks/bench_perf.py --sharded
 
 profile:
 	PYTHONPATH=src python scripts/profile.py

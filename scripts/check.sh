@@ -22,6 +22,9 @@ python scripts/lint_event_reasons.py
 echo "== deepcopy lint =="
 python scripts/lint_deepcopy.py
 
+echo "== shared-state lint =="
+python scripts/lint_shared_state.py
+
 echo "== pytest (tier 1) =="
 PYTHONPATH=src python -m pytest -q "$@"
 

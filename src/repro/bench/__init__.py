@@ -29,15 +29,22 @@ from .figures import (
 )
 from .platform_runner import bench_manifest, build_platform, measure_dlaas
 from .reporting import render_table, shape_check
+from .sharded_runner import (
+    bench_cell_driver,
+    build_sharded_bench,
+    run_sharded_scenario,
+)
 
 __all__ = [
     "FIG2_PAPER",
     "FIG3_PAPER",
     "FIG4_PAPER",
     "atomic_deploy_rows",
+    "bench_cell_driver",
     "bench_manifest",
     "build_config",
     "build_platform",
+    "build_sharded_bench",
     "checkpoint_tradeoff_rows",
     "dgx1_config",
     "etcd_vs_direct_rows",
@@ -50,6 +57,7 @@ __all__ = [
     "measure_direct",
     "measure_dlaas",
     "render_table",
+    "run_sharded_scenario",
     "scheduler_rows",
     "shape_check",
 ]

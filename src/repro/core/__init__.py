@@ -26,6 +26,13 @@ from .manifest import DataStoreRef, TrainingManifest
 from .observability import ClusterMonitor
 from .platform import DlaasPlatform, PlatformConfig
 from .rest import RestClient, RestGateway
+from .sharded import (
+    FederationService,
+    PlatformShard,
+    ShardedPlatform,
+    federation_address,
+    timeline_digest,
+)
 from .timeline import job_timeline, render_timeline
 from .states import (
     ALL_STATUSES,
@@ -61,6 +68,7 @@ __all__ = [
     "EVENT_WARNING",
     "EventRecorder",
     "FAILED",
+    "FederationService",
     "HALTED",
     "IllegalTransition",
     "InvalidManifest",
@@ -69,19 +77,23 @@ __all__ = [
     "PROCESSING",
     "PlatformConfig",
     "PlatformEvent",
+    "PlatformShard",
     "QUEUED",
     "RateLimited",
     "RateLimiter",
     "RestClient",
     "RestGateway",
     "STORING",
+    "ShardedPlatform",
     "StatusHistory",
     "TERMINAL_STATUSES",
     "TokenRegistry",
     "TrainingManifest",
     "aggregate_learner_statuses",
+    "federation_address",
     "is_terminal",
     "job_timeline",
+    "timeline_digest",
     "render_timeline",
     "validate_transition",
 ]

@@ -14,6 +14,13 @@ from .kernel import Kernel
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .process import Process
 from .reconciler import Reconciler, WatchSource, WorkQueue
+from .shard import (
+    BoundaryMessage,
+    ShardPort,
+    ShardSlot,
+    ShardedKernel,
+    merged_digest,
+)
 from .timeseries import TimeSeries, TimeSeriesStore
 from .tracing import (
     NULL_SPAN,
@@ -30,6 +37,7 @@ from .tracing import (
 __all__ = [
     "AllOf",
     "AnyOf",
+    "BoundaryMessage",
     "Channel",
     "ChannelClosed",
     "Counter",
@@ -44,6 +52,9 @@ __all__ = [
     "Process",
     "ProcessKilled",
     "Reconciler",
+    "ShardPort",
+    "ShardSlot",
+    "ShardedKernel",
     "SimError",
     "SimTimeout",
     "Span",
@@ -56,6 +67,7 @@ __all__ = [
     "WorkQueue",
     "extract_context",
     "inject_context",
+    "merged_digest",
     "render_critical_path",
     "render_span_tree",
 ]

@@ -14,6 +14,8 @@ class Channel:
     fails all pending and future gets with :class:`ChannelClosed`.
     """
 
+    __slots__ = ("_kernel", "name", "_items", "_getters", "closed")
+
     def __init__(self, kernel, name=""):
         self._kernel = kernel
         self.name = name

@@ -23,7 +23,16 @@ CANCELLED = "cancelled"
 
 
 class Event:
-    """A one-shot waitable; the unit of synchronization in the kernel."""
+    """A one-shot waitable; the unit of synchronization in the kernel.
+
+    Slotted: events (and their Timer/Process subclasses) are the
+    hottest allocation in the simulator — at bench scale hundreds of
+    thousands are created per run, and dropping the per-instance dict
+    is a measurable win (see EXPERIMENTS.md).
+    """
+
+    __slots__ = ("_kernel", "name", "state", "value", "exception",
+                 "_callbacks", "_pending_dispatch", "__weakref__")
 
     def __init__(self, kernel, name=""):
         self._kernel = kernel
@@ -32,6 +41,7 @@ class Event:
         self.value = None
         self.exception = None
         self._callbacks = []
+        self._pending_dispatch = None
 
     @property
     def triggered(self):
@@ -131,6 +141,8 @@ class AnyOf(Event):
     callbacks across races.
     """
 
+    __slots__ = ("events",)
+
     def __init__(self, kernel, events, name="any-of"):
         super().__init__(kernel, name=name)
         self.events = list(events)
@@ -160,6 +172,8 @@ class AllOf(Event):
     were given. The first failing child fails the composite and detaches
     from the still-pending children.
     """
+
+    __slots__ = ("events", "_remaining")
 
     def __init__(self, kernel, events, name="all-of"):
         super().__init__(kernel, name=name)

@@ -19,6 +19,8 @@ from .events import FAILED, Event
 class Process(Event):
     """A running simulated activity; also the event of its completion."""
 
+    __slots__ = ("_generator", "_waiting_on", "_pending_kill")
+
     def __init__(self, kernel, generator, name=""):
         super().__init__(kernel, name=name or getattr(generator, "__name__", "process"))
         if not hasattr(generator, "send"):

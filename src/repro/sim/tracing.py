@@ -23,6 +23,7 @@ to its stages.
 """
 
 import itertools
+from sys import intern as _intern
 
 # Wire key under which RPC clients carry the span context inside a
 # dict-shaped request (the simulated analogue of GRPC call metadata).
@@ -162,7 +163,13 @@ class _NullSpan:
     context = None
     ended = True
     status = "ok"
-    attributes = {}
+
+    @property
+    def attributes(self):
+        # A fresh dict per read: the shared NULL_SPAN must never carry
+        # mutable class-level state a caller could scribble on (the
+        # shared-state lint bans the class-attr-dict it replaced).
+        return {}
 
     def duration(self, at=None):
         return 0.0
@@ -203,7 +210,12 @@ class Tracer:
     # ------------------------------------------------------------------
 
     def emit(self, component, kind, **fields):
-        record = TraceRecord(self._kernel.now, component, kind, fields)
+        # component/kind values repeat millions of times across a run
+        # (f-built names like "learner-0" included); interning collapses
+        # them to one object each, so the equality filters in query()
+        # and the digest hashing are pointer comparisons.
+        record = TraceRecord(self._kernel.now, _intern(component),
+                             _intern(kind), fields)
         self.records.append(record)
         return record
 

@@ -1,0 +1,189 @@
+"""RPCs across shard boundaries (repro.grpcnet x repro.sim.shard).
+
+Two single-kernel "cells", each with its own Network, wired through a
+:class:`ShardedKernel`: shard 1 serves, shard 0 calls. These are the
+grpcnet-level semantics the platform federation rides on — success,
+remote error decoding, deadlines, and late-response accounting.
+"""
+
+import pytest
+
+from repro.grpcnet import (
+    DeadlineExceeded,
+    LatencyModel,
+    MethodNotFound,
+    Network,
+    RpcError,
+    Server,
+    Unavailable,
+)
+from repro.sim import Kernel, ShardSlot, ShardedKernel, SimError
+
+LOOKAHEAD = 0.25
+
+
+class CellProgram:
+    """A minimal cell: kernel + network bound to the boundary port."""
+
+    def __init__(self, slot):
+        self.kernel = Kernel(seed=slot.shard_id)
+        self.port = slot.bind(self.kernel)
+        self.network = Network(
+            self.kernel, latency=LatencyModel(base=0.001, jitter=0.0))
+        self.network.bind_shard(self.port)
+        self.outcomes = []
+        self.proc = self.kernel.spawn(self._drive())
+
+    def _drive(self):
+        return
+        yield  # pragma: no cover
+
+    def _record(self, call):
+        try:
+            response = yield call
+            self.outcomes.append(("ok", response))
+        except Exception as exc:  # noqa: BLE001 — outcome capture
+            self.outcomes.append(("error", type(exc).__name__, str(exc)))
+
+    @property
+    def done(self):
+        return self.proc.triggered
+
+    def settle_time(self):
+        return self.kernel.now + 5.0
+
+    def result(self):
+        return {
+            "shard": self.port.shard_id,
+            "outcomes": tuple(self.outcomes),
+            "remote_calls": self.network.remote_calls_total,
+            "late_responses": self.network.remote_late_responses,
+            "boundary": self.port.counters(),
+        }
+
+
+class ServerCell(CellProgram):
+    def __init__(self, slot):
+        super().__init__(slot)
+        server = Server(self.kernel, self.network, "svc")
+        server.add_method("echo", lambda request: {"echo": request})
+
+        def slow(_request):
+            yield self.kernel.sleep(2.0)
+            return "slow-done"
+
+        server.add_method("slow", slow)
+        server.start()
+
+
+class CallerCell(CellProgram):
+    """Exercises every outcome against the remote ``svc``."""
+
+    def __init__(self, slot):
+        super().__init__(slot)
+        self.network.add_remote("svc", 1)
+
+    def _drive(self):
+        call = self.network.call
+        yield from self._record(call("svc", "echo", {"n": 1}))
+        yield from self._record(call("svc", "nope", None))
+        yield from self._record(call("svc", "slow", None, deadline=0.5))
+        yield from self._record(call("svc", "echo", "after", deadline=10.0))
+        # Outlive the abandoned slow call's response so it arrives (as a
+        # counted late response) instead of dying in the settle phase.
+        yield self.kernel.sleep(5.0)
+
+
+def build_server(slot):
+    return ServerCell(slot)
+
+
+def build_caller(slot):
+    return CallerCell(slot)
+
+
+def run_pair(executor="inline", workers=None):
+    return ShardedKernel(
+        [(build_caller, (), {}), (build_server, (), {})],
+        lookahead=LOOKAHEAD, executor=executor, workers=workers).run()
+
+
+def test_cross_shard_call_outcomes():
+    caller = run_pair().results[0]
+    ok1, not_found, deadline, ok2 = caller["outcomes"]
+    assert ok1 == ("ok", {"echo": {"n": 1}})
+    assert not_found[:2] == ("error", "MethodNotFound")
+    assert deadline[:2] == ("error", "DeadlineExceeded")
+    assert ok2 == ("ok", {"echo": "after"})
+    assert caller["remote_calls"] == 4
+    # the slow response came back after its caller gave up
+    assert caller["late_responses"] == 1
+
+
+def test_cross_shard_executors_agree():
+    inline = run_pair()
+    forked = run_pair(executor="process", workers=2)
+    assert forked.results == inline.results
+    assert forked.message_digest == inline.message_digest
+
+
+def test_remote_round_trip_pays_the_boundary_latency_twice():
+    caller = run_pair().results[0]
+    # 4 requests out; 4 responses in (the late slow response still
+    # arrives — it is counted, not lost, because the last echo keeps
+    # the caller shard alive past it)
+    assert caller["boundary"]["messages_sent"] == 4
+    assert caller["boundary"]["messages_received"] == 4
+
+
+def test_add_remote_requires_bound_port():
+    network = Network(Kernel())
+    with pytest.raises(SimError, match="bind_shard"):
+        network.add_remote("svc", 1)
+
+
+def test_add_remote_rejects_own_shard():
+    kernel = Kernel()
+    network = Network(kernel)
+    network.bind_shard(ShardSlot(0, 2, LOOKAHEAD).bind(kernel))
+    with pytest.raises(ValueError, match="own shard"):
+        network.add_remote("svc", 0)
+
+
+def test_remote_address_cannot_be_registered_locally():
+    kernel = Kernel()
+    network = Network(kernel)
+    network.bind_shard(ShardSlot(0, 2, LOOKAHEAD).bind(kernel))
+    network.add_remote("svc", 1)
+    with pytest.raises(ValueError, match="owned by shard"):
+        network.register("svc", object())
+
+
+def test_local_address_cannot_be_declared_remote():
+    kernel = Kernel(seed=1)
+    network = Network(kernel, latency=LatencyModel(base=0.001, jitter=0.0))
+    network.bind_shard(ShardSlot(0, 2, LOOKAHEAD).bind(kernel))
+    Server(kernel, network, "svc").start()
+    with pytest.raises(ValueError, match="registered locally"):
+        network.add_remote("svc", 1)
+
+
+def test_bind_shard_is_once_only():
+    kernel = Kernel()
+    network = Network(kernel)
+    network.bind_shard(ShardSlot(0, 2, LOOKAHEAD).bind(kernel))
+    with pytest.raises(SimError, match="already bound"):
+        network.bind_shard(ShardSlot(0, 2, LOOKAHEAD).bind(Kernel()))
+
+
+def test_error_names_decode_to_typed_exceptions():
+    from repro.grpcnet.network import _decode_error
+
+    assert isinstance(_decode_error(("Unavailable", "x"), "m"), Unavailable)
+    assert isinstance(
+        _decode_error(("DeadlineExceeded", "x"), "m"), DeadlineExceeded)
+    assert isinstance(
+        _decode_error(("MethodNotFound", "x"), "m"), MethodNotFound)
+    other = _decode_error(("ValueError", "boom"), "train")
+    assert isinstance(other, RpcError)
+    assert "train" in str(other) and "boom" in str(other)

@@ -1,0 +1,270 @@
+"""The sharded kernel: window protocol, determinism, accounting.
+
+The toy programs here are module-level classes/builders on purpose —
+that is the contract of :class:`repro.sim.shard.ShardedKernel`
+(multiprocessing workers rebuild shards from pickled specs).
+"""
+
+import pytest
+
+from repro.sim import Kernel, ShardSlot, ShardedKernel, SimError, merged_digest
+
+
+class RingProgram:
+    """Each shard beats ``beats`` times, sending each beat to the next
+    shard in the ring; received beats are logged with timestamps."""
+
+    def __init__(self, slot, beats, interval=1.0):
+        self.kernel = Kernel(seed=slot.shard_id)
+        self.port = slot.bind(self.kernel)
+        self.shard_id = slot.shard_id
+        self.num_shards = slot.num_shards
+        self.received = []
+        self.port.on("beat", self._on_beat)
+        self.proc = self.kernel.spawn(self._drive(beats, interval))
+
+    def _on_beat(self, src, payload):
+        self.received.append((round(self.kernel.now, 9), src, payload["n"]))
+
+    def _drive(self, beats, interval):
+        for n in range(beats):
+            yield self.kernel.sleep(interval)
+            if self.num_shards > 1:
+                self.port.send((self.shard_id + 1) % self.num_shards,
+                               "beat", {"n": n, "from": self.shard_id})
+
+    @property
+    def done(self):
+        return self.proc.triggered
+
+    def settle_time(self):
+        return self.kernel.now
+
+    def result(self):
+        return {"shard": self.shard_id, "received": tuple(self.received),
+                "now": round(self.kernel.now, 9)}
+
+
+def build_ring(slot, beats, interval=1.0):
+    return RingProgram(slot, beats, interval)
+
+
+def _noop():
+    return
+    yield  # pragma: no cover — makes this a generator function
+
+
+class IdleProgram:
+    """Finishes immediately, receives anything, sends nothing."""
+
+    def __init__(self, slot):
+        self.kernel = Kernel(seed=slot.shard_id)
+        self.port = slot.bind(self.kernel)
+        self.port.on("beat", lambda src, payload: None)
+        self.proc = self.kernel.spawn(_noop())
+
+    @property
+    def done(self):
+        return self.proc.triggered
+
+    def settle_time(self):
+        return self.kernel.now + 5.0
+
+    def result(self):
+        return {"shard": self.port.shard_id}
+
+
+def build_idle(slot):
+    return IdleProgram(slot)
+
+
+class LateSender(IdleProgram):
+    """Driver completes at t=1 but a straggler process sends a boundary
+    message at t=2 — i.e. during the settle run, after routing stopped."""
+
+    def __init__(self, slot):
+        super().__init__(slot)
+        self.proc = self.kernel.spawn(self._drive())
+
+    def _drive(self):
+        yield self.kernel.sleep(1.0)
+        self.kernel.spawn(self._late())
+
+    def _late(self):
+        yield self.kernel.sleep(1.0)
+        self.port.send(1, "beat", {"n": -1, "from": 0})
+
+
+def build_late(slot):
+    return LateSender(slot)
+
+
+class NeverDone(IdleProgram):
+    """Queue drains but the program never reports completion."""
+
+    done = False
+
+
+def build_never_done(slot):
+    return NeverDone(slot)
+
+
+def ring_specs(shards, beats, interval=1.0):
+    return [(build_ring, (beats,), {"interval": interval})
+            for _ in range(shards)]
+
+
+# ----------------------------------------------------------------------
+# Protocol behaviour
+# ----------------------------------------------------------------------
+
+
+def test_ring_delivers_every_beat_with_lookahead_latency():
+    sharded = ShardedKernel(ring_specs(3, beats=4), lookahead=0.5,
+                            executor="inline").run()
+    for result in sharded.results:
+        prev = (result["shard"] - 1) % 3
+        # beat n is sent at n+1 and lands exactly lookahead later
+        assert result["received"] == tuple(
+            (round(n + 1 + 0.5, 9), prev, n) for n in range(4))
+    assert sharded.stats["messages_sent"] == 12
+    assert sharded.stats["messages_received"] == 12
+    assert sharded.stats["messages_routed"] == 12
+    assert sharded.stats["messages_dropped"] == 0
+
+
+def test_single_shard_runs_without_boundary_traffic():
+    sharded = ShardedKernel(ring_specs(1, beats=3), lookahead=0.5,
+                            executor="inline").run()
+    assert sharded.results[0]["received"] == ()
+    assert sharded.stats["messages_sent"] == 0
+
+
+def test_process_executor_matches_inline_bit_for_bit():
+    inline = ShardedKernel(ring_specs(4, beats=5), lookahead=0.25,
+                           executor="inline").run()
+    forked = ShardedKernel(ring_specs(4, beats=5), lookahead=0.25,
+                           workers=4, executor="process").run()
+    assert forked.results == inline.results
+    assert forked.message_digest == inline.message_digest
+    assert forked.stats == inline.stats
+
+
+def test_worker_count_does_not_change_results():
+    reference = ShardedKernel(ring_specs(4, beats=3), lookahead=0.25,
+                              workers=1, executor="process").run()
+    for workers in (2, 3):
+        run = ShardedKernel(ring_specs(4, beats=3), lookahead=0.25,
+                            workers=workers, executor="process").run()
+        assert run.results == reference.results
+        assert run.message_digest == reference.message_digest
+
+
+def test_settle_phase_sends_are_dropped_and_counted():
+    sharded = ShardedKernel(
+        [(build_late, (), {}), (build_idle, (), {})],
+        lookahead=0.25, executor="inline").run()
+    assert sharded.stats["messages_sent"] == 1
+    assert sharded.stats["messages_received"] == 0
+    assert sharded.stats["messages_dropped"] == 1
+
+
+def test_deadlock_detected_when_program_never_completes():
+    with pytest.raises(SimError, match="sharded deadlock"):
+        ShardedKernel([(build_never_done, (), {})], lookahead=0.25,
+                      executor="inline").run()
+
+
+def test_limit_caps_global_simulated_time():
+    with pytest.raises(SimError, match="exceeded limit"):
+        ShardedKernel(ring_specs(2, beats=100), lookahead=0.25,
+                      executor="inline").run(limit=5.0)
+
+
+def test_max_epochs_backstop():
+    with pytest.raises(SimError, match="epochs"):
+        ShardedKernel(ring_specs(2, beats=100), lookahead=0.25,
+                      executor="inline").run(max_epochs=3)
+
+
+# ----------------------------------------------------------------------
+# Port validation
+# ----------------------------------------------------------------------
+
+
+def make_port(shard_id=0, num_shards=2, lookahead=0.5):
+    return ShardSlot(shard_id, num_shards, lookahead).bind(Kernel())
+
+
+def test_send_to_own_shard_rejected():
+    with pytest.raises(SimError, match="own shard"):
+        make_port().send(0, "beat", {})
+
+
+def test_send_below_lookahead_rejected():
+    with pytest.raises(SimError, match="undercuts lookahead"):
+        make_port().send(1, "beat", {}, delay=0.1)
+
+
+def test_send_to_unknown_shard_rejected():
+    with pytest.raises(SimError, match="unknown destination"):
+        make_port().send(7, "beat", {})
+
+
+def test_duplicate_handler_rejected():
+    port = make_port()
+    port.on("beat", lambda s, p: None)
+    with pytest.raises(ValueError, match="already registered"):
+        port.on("beat", lambda s, p: None)
+
+
+def test_deliver_without_handler_rejected():
+    sender = make_port(shard_id=1)
+    message = sender.send(0, "beat", {})
+    with pytest.raises(SimError, match="no handler"):
+        make_port().deliver(message)
+
+
+def test_payload_serialized_once_and_isolated():
+    sender = make_port(shard_id=1)
+    payload = {"nested": [1, 2, 3]}
+    message = sender.send(0, "beat", payload)
+    payload["nested"].append(4)  # sender-side mutation after send
+    received = []
+    receiver = make_port()
+    receiver.on("beat", lambda src, p: received.append(p))
+    receiver.deliver(message)
+    receiver.kernel.run()
+    assert received == [{"nested": [1, 2, 3]}]
+    received[0]["nested"].clear()  # receiver-side mutation stays local
+    assert payload == {"nested": [1, 2, 3, 4]}
+
+
+def test_positive_lookahead_required():
+    with pytest.raises(ValueError, match="lookahead"):
+        ShardSlot(0, 1, 0.0).bind(Kernel())
+
+
+# ----------------------------------------------------------------------
+# Kernel window primitives
+# ----------------------------------------------------------------------
+
+
+def test_run_window_executes_strictly_before_end():
+    kernel = Kernel()
+    fired = []
+    for when in (1.0, 2.0, 3.0):
+        kernel._schedule_at(when, lambda w=when: fired.append(w))
+    assert kernel.run_window(2.0) == 1  # strictly < end: 2.0 stays queued
+    assert fired == [1.0]
+    assert kernel.now == 1.0  # clock stays at the last executed event
+    assert kernel.peek_time() == 2.0
+    assert kernel.run_window(10.0) == 2
+    assert fired == [1.0, 2.0, 3.0]
+    assert kernel.peek_time() is None
+
+
+def test_merged_digest_is_order_sensitive():
+    assert merged_digest(["a", "b"], "m") != merged_digest(["b", "a"], "m")
+    assert merged_digest(["a", "b"], "m") != merged_digest(["a", "b"], "n")
+    assert merged_digest(["a", "b"], "m") == merged_digest(("a", "b"), "m")
