@@ -1,4 +1,4 @@
-.PHONY: check test lint bench perf perf-sharded profile
+.PHONY: check test lint bench perf perf-sharded perf-serving profile
 
 check:
 	scripts/check.sh
@@ -17,6 +17,9 @@ perf:
 
 perf-sharded:
 	PYTHONPATH=src python benchmarks/bench_perf.py --sharded
+
+perf-serving:
+	PYTHONPATH=src python benchmarks/bench_serving.py
 
 profile:
 	PYTHONPATH=src python scripts/profile.py

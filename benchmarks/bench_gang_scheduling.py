@@ -9,23 +9,17 @@ can never place — a cross-job deadlock. With gang scheduling, partial
 placement is refused and both jobs complete.
 """
 
+from conftest import seed_buckets, training_manifest
+
 from repro.bench import render_table
 from repro.core import ComponentCrasher, DlaasPlatform, PlatformConfig
-
-CREDS = {"access_key": "AK", "secret": "SK"}
 
 COLUMNS = ["gang scheduling", "job A", "job B", "GPUs stuck allocated"]
 
 
 def _distributed_manifest(name, steps):
-    return {
-        "name": name, "framework": "horovod", "model": "resnet50",
-        "learners": 3, "gpus_per_learner": 1, "gpu_type": "k80",
-        "target_steps": steps, "checkpoint_interval": 15.0,
-        "dataset_size_mb": 100,
-        "data": {"bucket": "train-data", "credentials": CREDS},
-        "results": {"bucket": "results", "credentials": CREDS},
-    }
+    return training_manifest(name, framework="horovod", learners=3,
+                             target_steps=steps)
 
 
 def run_scenario(gang_scheduling):
@@ -34,8 +28,7 @@ def run_scenario(gang_scheduling):
         config=PlatformConfig(gpu_nodes=1, gpus_per_node=4, management_nodes=2,
                               gang_scheduling=gang_scheduling),
     ).start()
-    platform.seed_training_data("train-data", CREDS, size_mb=100)
-    platform.ensure_results_bucket("results", CREDS)
+    seed_buckets(platform)
     client = platform.client("bench")
 
     def submit():

@@ -7,24 +7,19 @@ the urgent job's submission-to-completion latency and the background
 job's fate.
 """
 
+from conftest import seed_buckets, training_manifest
+
 from repro.bench import render_table
 from repro.core import DlaasPlatform, PlatformConfig
-
-CREDS = {"access_key": "AK", "secret": "SK"}
 
 COLUMNS = ["preemption", "urgent latency s", "urgent status",
            "background status", "preemptions"]
 
 
 def _manifest(name, steps, priority, checkpoint=15.0):
-    return {
-        "name": name, "framework": "tensorflow", "model": "resnet50",
-        "learners": 1, "gpus_per_learner": 2, "gpu_type": "k80",
-        "target_steps": steps, "priority": priority,
-        "checkpoint_interval": checkpoint, "dataset_size_mb": 100,
-        "data": {"bucket": "train-data", "credentials": CREDS},
-        "results": {"bucket": "results", "credentials": CREDS},
-    }
+    return training_manifest(name, gpus_per_learner=2, target_steps=steps,
+                             priority=priority,
+                             checkpoint_interval=checkpoint)
 
 
 def run_scenario(preemption):
@@ -33,8 +28,7 @@ def run_scenario(preemption):
         config=PlatformConfig(gpu_nodes=1, gpus_per_node=2, management_nodes=2),
     ).start()
     platform.k8s.scheduler.preemption = preemption
-    platform.seed_training_data("train-data", CREDS, size_mb=100)
-    platform.ensure_results_bucket("results", CREDS)
+    seed_buckets(platform)
     client = platform.client("bench")
 
     def scenario():

@@ -3,6 +3,13 @@
 Every benchmark regenerates one table/figure, prints it, and archives it
 under ``bench_results/`` so the run leaves reviewable artifacts even
 when pytest captures stdout.
+
+Shared scenario plumbing (tenant credentials, the canonical training
+manifest, bucket seeding) lives here too: the individual benches used
+to carry their own near-identical copies. This module is importable
+both under pytest (conftest auto-import) and from benches run as
+scripts (``python benchmarks/bench_x.py`` puts this directory on
+``sys.path``).
 """
 
 import pathlib
@@ -10,6 +17,29 @@ import pathlib
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "bench_results"
+
+CREDS = {"access_key": "AK", "secret": "SK"}
+
+
+def training_manifest(name, **overrides):
+    """The canonical single-learner training manifest the benches vary."""
+    base = {
+        "name": name, "framework": "tensorflow", "model": "resnet50",
+        "learners": 1, "gpus_per_learner": 1, "gpu_type": "k80",
+        "target_steps": 100, "checkpoint_interval": 15.0,
+        "dataset_size_mb": 100,
+        "data": {"bucket": "train-data", "credentials": CREDS},
+        "results": {"bucket": "results", "credentials": CREDS},
+    }
+    base.update(overrides)
+    return base
+
+
+def seed_buckets(platform, size_mb=100):
+    """Standard object-store fixtures every training scenario needs."""
+    platform.seed_training_data("train-data", CREDS, size_mb=size_mb)
+    platform.ensure_results_bucket("results", CREDS)
+    return platform
 
 
 @pytest.fixture

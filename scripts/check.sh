@@ -30,3 +30,6 @@ PYTHONPATH=src python -m pytest -q "$@"
 
 echo "== perf smoke gate =="
 PYTHONPATH=src python benchmarks/bench_perf.py --check
+
+echo "== serving smoke gate =="
+PYTHONPATH=src python benchmarks/bench_serving.py --check

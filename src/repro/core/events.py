@@ -69,6 +69,16 @@ REASONS = frozenset({
     "Unschedulable",
     "Preempted",
     "ContainerRestarted",
+    # Serving (repro.serving)
+    "ServingModelCreated",
+    "ServingModelDeleted",
+    "ServingScaleUp",
+    "ServingScaleDown",
+    "ServingSLOBreach",
+    "ServingDown",
+    "BatchShardRequeued",
+    "BatchInferCompleted",
+    "BatchInferStalled",
     # Substrates
     "LeaderElected",
     "MongoMemberDown",

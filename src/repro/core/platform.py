@@ -127,6 +127,29 @@ class PlatformConfig:
     # (the contract that makes reference-passing payloads sound).
     rpc_debug_freeze: bool = False
 
+    # Serving subsystem (repro.serving): inference Deployments with an
+    # SLO-driven replica autoscaler, plus elastic batch inference. Off
+    # by default — nothing serving-related is constructed, no extra
+    # processes run, and the simulated training timeline is
+    # bit-identical to a tree without the subsystem (gated by
+    # bench_serving.py against the committed perf-smoke digest).
+    serving: bool = False
+    serving_replicas: int = 1  # manager (dlaas-serving) replicas
+    serving_init_time: float = 3.2  # manager pod boot
+    serving_replica_init_time: float = 2.0  # model load on a replica
+    serving_reconcile_interval: float = 1.0  # model-registry resync
+    serving_autoscale_interval: float = 2.0
+    serving_scale_up_cooldown: float = 5.0
+    serving_scale_down_cooldown: float = 60.0
+    serving_queue_high: float = 16.0  # queued requests per replica
+    serving_latency_window: float = 20.0  # rolling p99 window, seconds
+    serving_service_jitter: float = 0.1  # fraction of service time
+    # Elastic batch inference (repro.serving.batch)
+    batchinfer_lease_timeout: float = 20.0
+    batchinfer_renew_interval: float = 2.0
+    batchinfer_monitor_interval: float = 2.0
+    batchinfer_stall_threshold: float = 60.0  # BatchInferStalled alert
+
     # Fabric
     network_latency: float = 0.0008
     network_jitter: float = 0.0006
@@ -194,6 +217,19 @@ class DlaasPlatform:
         self.tokens = TokenRegistry()
         self.api_balancer = LoadBalancer("dlaas-api")
         self.lcm_balancer = LoadBalancer("dlaas-lcm")
+        # The serving data plane is platform-owned (it outlives manager
+        # pods) and exists only when the subsystem is enabled — with the
+        # flag off the training timeline must be bit-identical.
+        if self.config.serving:
+            from ..serving import ServingRuntime
+
+            self.serving_balancer = LoadBalancer("dlaas-serving")
+            self.serving = ServingRuntime(
+                self.kernel, self.metrics, self.events,
+                latency_window=self.config.serving_latency_window)
+        else:
+            self.serving_balancer = None
+            self.serving = None
         self.health = HealthRegistry()
         register_platform_probes(self, self.health)
         self.monitoring = MonitoringStack(self) if self.config.monitoring else None
@@ -218,14 +254,17 @@ class DlaasPlatform:
                                   gpu_type=gpu_type, labels={"pool": "gpu"})
 
     def _register_images(self):
-        for image, size in self.config.image_sizes.items():
+        image_sizes = dict(self.config.image_sizes)
+        if self.config.serving:
+            image_sizes.setdefault("dlaas/serving", 55.0)
+        for image, size in image_sizes.items():
             self.k8s.registry.register(image, size)
         for framework in FRAMEWORKS.values():
             self.k8s.registry.register(framework.image, framework.image_size_mb)
         # DaemonSet-style pre-pull of the small platform images on every
         # node: core services must restart fast (Fig. 4).
         for node_name in self.k8s.kubelets:
-            for image in self.config.image_sizes:
+            for image in image_sizes:
                 self.k8s.registry.prewarm(node_name, image)
 
     def framework_image(self, framework_name):
@@ -274,6 +313,11 @@ class DlaasPlatform:
             events.create_index("job")
             events.create_index("event_key")
             member.database.collection("metering").create_index("tenant")
+            if self.config.serving:
+                models = member.database.collection("models")
+                models.create_index("model_id", unique=True)
+                models.create_index("tenant")
+                models.create_index("status")
 
     def _deploy_core_services(self):
         self.k8s.api.create(Deployment(
@@ -286,6 +330,13 @@ class DlaasPlatform:
             PodTemplate(self._lcm_pod_spec, labels={"dlaas": "core", "app": "lcm"}),
             replicas=self.config.lcm_replicas,
         ))
+        if self.config.serving:
+            self.k8s.api.create(Deployment(
+                "dlaas-serving",
+                PodTemplate(self._serving_pod_spec,
+                            labels={"dlaas": "core", "app": "serving"}),
+                replicas=self.config.serving_replicas,
+            ))
 
     def _api_pod_spec(self):
         return PodSpec(
@@ -299,6 +350,16 @@ class DlaasPlatform:
         return PodSpec(
             containers=[ContainerSpec("lcm", "dlaas/lcm",
                                       workload=make_lcm_workload(self))],
+            restart_policy=RESTART_ALWAYS,
+            node_selector={"pool": "management"},
+        )
+
+    def _serving_pod_spec(self):
+        from .services import make_serving_workload
+
+        return PodSpec(
+            containers=[ContainerSpec("serving", "dlaas/serving",
+                                      workload=make_serving_workload(self))],
             restart_policy=RESTART_ALWAYS,
             node_selector={"pool": "management"},
         )

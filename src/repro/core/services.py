@@ -49,6 +49,48 @@ def make_api_workload(platform):
     return workload
 
 
+def make_serving_workload(platform):
+    """The ServingManager pod: model-registry reconciler + autoscaler.
+
+    Mirrors the LCM workload: boot, serve, run the reconcilers, and on
+    any exit (graceful or crash) stop them so a dead manager leaks no
+    loops — the replacement pod rebuilds everything from MongoDB.
+    """
+
+    def workload(ctx):
+        from ..serving import ServingManager
+
+        kernel = ctx.kernel
+        address = f"serving:{ctx.pod.metadata.name}"
+        yield kernel.sleep(platform.config.serving_init_time)
+        service = ServingManager(platform, address)
+        reconciler = autoscaler = None
+        try:
+            service.server.start()
+            platform.serving_balancer.add(address)
+            reconciler = service.make_reconciler().start()
+            autoscaler = service.make_autoscaler().start()
+            platform.tracer.emit("serving", "component-ready",
+                                 pod=ctx.pod.metadata.name)
+            platform.events.emit_event("Normal", "ComponentReady", "Pod",
+                                       ctx.pod.metadata.name,
+                                       message="serving manager ready")
+            yield ctx.stop_event
+        except ProcessKilled:
+            raise
+        finally:
+            platform.serving_balancer.remove(address)
+            service.server.stop()
+            if reconciler is not None:
+                reconciler.stop()
+            if autoscaler is not None:
+                autoscaler.stop()
+            _emit_exit_event(platform, ctx, "serving")
+        return 0
+
+    return workload
+
+
 def make_lcm_workload(platform):
     def workload(ctx):
         kernel = ctx.kernel

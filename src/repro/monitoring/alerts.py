@@ -309,8 +309,11 @@ class AlertEngine:
 
     def _involved(self, rule, labels):
         labels = dict(labels)
-        name = labels.get("component") or labels.get("name") or rule.name
-        return "Component", name
+        for key, kind in (("component", "Component"), ("model", "Model"),
+                          ("batch", "BatchInfer"), ("name", "Component")):
+            if labels.get(key):
+                return kind, labels[key]
+        return "Component", rule.name
 
     def _on_firing(self, rule, labels, value):
         if self.events is None:
@@ -397,4 +400,24 @@ def default_rule_pack(config):
         Metric("workqueue_depth") > 50,
         for_=service_for, severity="warning",
         description="a reconciler workqueue is backing up"))
+    if getattr(config, "serving", False):
+        rules.append(AlertRule(
+            "ServingDown",
+            Metric("up", component="serving") == 0,
+            for_=service_for, severity="critical",
+            description="up{component=serving} == 0"))
+        # The autoscaler exports each model's p99/SLO ratio; above 1.0
+        # the model is out of SLO. ``for_`` rides out the scale-up lag
+        # an autoscaler is *expected* to incur on a burst edge.
+        rules.append(AlertRule(
+            "ServingSLOBreach",
+            Metric("serving_slo_breach") > 1.0,
+            for_=service_for, severity="warning",
+            description="a serving model's windowed p99 exceeds its SLO"))
+        rules.append(AlertRule(
+            "BatchInferStalled",
+            Metric("batchinfer_stalled_seconds") > config.batchinfer_stall_threshold,
+            for_=0.0, severity="warning",
+            description="a batch-inference job has made no progress for "
+                        "longer than the stall threshold"))
     return rules

@@ -195,6 +195,11 @@ def register_platform_probes(platform, registry):
     registry.register("lcm",
                       balancer_check(platform.lcm_balancer, config.lcm_replicas),
                       latch=True)
+    if getattr(config, "serving", False):
+        registry.register(
+            "serving",
+            balancer_check(platform.serving_balancer, config.serving_replicas),
+            latch=True)
 
     def etcd_check():
         alive = platform.etcd.alive_count()

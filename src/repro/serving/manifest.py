@@ -1,0 +1,200 @@
+"""Serving manifests: what users register and what batch jobs score.
+
+A *serving model* is the second workload class next to training (FfDL
+ships both side by side): a long-running inference Deployment with an
+SLO, replica bounds for the autoscaler, and a service-time model the
+replicas sample from. A *batch inference job* (AntBatchInfer-style)
+scores a fixed item count, partitioned into shards that elastic
+workers lease and complete.
+
+Validation mirrors :class:`repro.core.manifest.TrainingManifest`: all
+problems are collected and raised at once as ``InvalidManifest``.
+"""
+
+from dataclasses import dataclass
+
+from ..core.errors import InvalidManifest
+from ..frameworks import FRAMEWORKS, GPU_CATALOGUE, MODEL_ZOO
+
+
+def _check_number(raw, problems, key, default, minimum=0.0,
+                  exclusive=True):
+    value = raw.get(key, default)
+    if not isinstance(value, (int, float)) or (
+            value <= minimum if exclusive else value < minimum):
+        bound = ">" if exclusive else ">="
+        problems.append(f"{key}: must be a number {bound} {minimum:g}")
+        return default
+    return float(value)
+
+
+def _check_int(raw, problems, key, default, minimum, maximum=None):
+    value = raw.get(key, default)
+    if not isinstance(value, int) or value < minimum \
+            or (maximum is not None and value > maximum):
+        upper = f", {maximum}]" if maximum is not None else ")"
+        problems.append(f"{key}: must be an integer in [{minimum}{upper}"
+                        if maximum is not None else
+                        f"{key}: must be an integer >= {minimum}")
+        return default
+    return value
+
+
+def _check_common(raw, problems):
+    """Fields shared by serving and batch manifests."""
+    name = raw.get("name")
+    if not name or not isinstance(name, str):
+        problems.append("name: required string")
+
+    framework = str(raw.get("framework", "")).lower()
+    if framework not in FRAMEWORKS:
+        problems.append(
+            f"framework: {framework!r} not supported; have {sorted(FRAMEWORKS)}")
+
+    model = str(raw.get("model", "")).lower()
+    if model not in MODEL_ZOO:
+        problems.append(f"model: {model!r} unknown; have {sorted(MODEL_ZOO)}")
+
+    gpu_type = str(raw.get("gpu_type", "")).lower()
+    if gpu_type not in GPU_CATALOGUE:
+        problems.append(
+            f"gpu_type: {gpu_type!r} unknown; have {sorted(GPU_CATALOGUE)}")
+    return name, framework, model, gpu_type
+
+
+@dataclass
+class ServingManifest:
+    """A validated inference-Deployment specification."""
+
+    name: str
+    framework: str
+    model: str
+    gpu_type: str
+    gpus_per_replica: int = 1
+    min_replicas: int = 1
+    max_replicas: int = 4
+    slo_p99: float = 0.25  # seconds; the autoscaler's target
+    max_batch: int = 8  # requests a replica serves per forward pass
+    priority: int = 50  # serving outranks default-priority training
+    base_service_time: float = 0.02  # per-pass fixed cost, seconds
+    per_item_time: float = 0.005  # marginal cost per batched request
+    memory_mb: int = 4096
+    cpu_millicores: int = 2000
+
+    @classmethod
+    def from_dict(cls, raw):
+        if not isinstance(raw, dict):
+            raise InvalidManifest("manifest must be an object")
+        problems = []
+        name, framework, model, gpu_type = _check_common(raw, problems)
+
+        gpus = _check_int(raw, problems, "gpus_per_replica", 1, 1, 8)
+        min_replicas = _check_int(raw, problems, "min_replicas", 1, 1)
+        max_replicas = _check_int(raw, problems, "max_replicas",
+                                  max(4, min_replicas), 1)
+        if max_replicas < min_replicas:
+            problems.append("max_replicas: must be >= min_replicas")
+        slo_p99 = _check_number(raw, problems, "slo_p99", 0.25)
+        max_batch = _check_int(raw, problems, "max_batch", 8, 1)
+        priority = _check_int(raw, problems, "priority", 50, 0, 100)
+        base = _check_number(raw, problems, "base_service_time", 0.02)
+        per_item = _check_number(raw, problems, "per_item_time", 0.005)
+
+        if problems:
+            raise InvalidManifest(problems)
+        return cls(
+            name=name,
+            framework=framework,
+            model=model,
+            gpu_type=gpu_type,
+            gpus_per_replica=gpus,
+            min_replicas=min_replicas,
+            max_replicas=max_replicas,
+            slo_p99=slo_p99,
+            max_batch=max_batch,
+            priority=priority,
+            base_service_time=base,
+            per_item_time=per_item,
+            memory_mb=int(raw.get("memory_mb", 4096)),
+            cpu_millicores=int(raw.get("cpu_millicores", 2000)),
+        )
+
+    def to_dict(self):
+        return {
+            "name": self.name,
+            "framework": self.framework,
+            "model": self.model,
+            "gpu_type": self.gpu_type,
+            "gpus_per_replica": self.gpus_per_replica,
+            "min_replicas": self.min_replicas,
+            "max_replicas": self.max_replicas,
+            "slo_p99": self.slo_p99,
+            "max_batch": self.max_batch,
+            "priority": self.priority,
+            "base_service_time": self.base_service_time,
+            "per_item_time": self.per_item_time,
+            "memory_mb": self.memory_mb,
+            "cpu_millicores": self.cpu_millicores,
+        }
+
+
+@dataclass
+class BatchInferManifest:
+    """A validated elastic batch-inference job specification."""
+
+    name: str
+    framework: str
+    model: str
+    gpu_type: str
+    items: int
+    shard_size: int = 100
+    workers: int = 2
+    max_workers: int = 8
+    gpus_per_worker: int = 1
+    item_time: float = 0.01  # seconds of GPU time per scored item
+    priority: int = 0  # batch inference is preemptible, like training
+    memory_mb: int = 4096
+    cpu_millicores: int = 2000
+
+    @classmethod
+    def from_dict(cls, raw):
+        if not isinstance(raw, dict):
+            raise InvalidManifest("manifest must be an object")
+        problems = []
+        name, framework, model, gpu_type = _check_common(raw, problems)
+
+        items = raw.get("items")
+        if not isinstance(items, int) or items < 1:
+            problems.append("items: required integer >= 1")
+            items = 1
+        shard_size = _check_int(raw, problems, "shard_size", 100, 1)
+        workers = _check_int(raw, problems, "workers", 2, 1)
+        max_workers = _check_int(raw, problems, "max_workers",
+                                 max(8, workers), 1)
+        if max_workers < workers:
+            problems.append("max_workers: must be >= workers")
+        gpus = _check_int(raw, problems, "gpus_per_worker", 1, 1, 8)
+        item_time = _check_number(raw, problems, "item_time", 0.01)
+        priority = _check_int(raw, problems, "priority", 0, 0, 100)
+
+        if problems:
+            raise InvalidManifest(problems)
+        return cls(
+            name=name,
+            framework=framework,
+            model=model,
+            gpu_type=gpu_type,
+            items=items,
+            shard_size=shard_size,
+            workers=workers,
+            max_workers=max_workers,
+            gpus_per_worker=gpus,
+            item_time=item_time,
+            priority=priority,
+            memory_mb=int(raw.get("memory_mb", 4096)),
+            cpu_millicores=int(raw.get("cpu_millicores", 2000)),
+        )
+
+    @property
+    def shard_count(self):
+        return (self.items + self.shard_size - 1) // self.shard_size

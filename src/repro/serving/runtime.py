@@ -1,0 +1,243 @@
+"""The serving data plane: request routing, queues, latency accounting.
+
+Platform-owned (one :class:`ServingRuntime` per platform, constructed
+when ``PlatformConfig(serving=True)``), so it plays the role of the
+service mesh in front of the inference Deployments: the traffic
+generator dispatches requests into it, replica pods register and pull
+batches out of it, and latency is measured arrival-to-completion —
+queue wait plus service time.
+
+Because the runtime outlives any individual pod, a crashed replica
+never loses requests: its queue is redistributed to the surviving
+replicas (or parked in the per-model backlog until one registers).
+The ServingManager, by contrast, keeps *no* state here it cannot
+rebuild from MongoDB — the split mirrors the LCM's design.
+
+All operations are plain in-process bookkeeping on the kernel clock —
+no RPCs, no RNG draws — so observation paths (API reads, the
+autoscaler's stats pass) cannot perturb the simulated timeline.
+"""
+
+from collections import deque
+
+
+class ReplicaHandle:
+    """One registered replica's inbound queue, owned by its workload."""
+
+    __slots__ = ("name", "queue", "_kernel", "_waiter")
+
+    def __init__(self, kernel, name):
+        self._kernel = kernel
+        self.name = name
+        self.queue = deque()  # arrival timestamps, FIFO
+        self._waiter = None
+
+    def notify(self):
+        if self._waiter is not None and not self._waiter.triggered:
+            self._waiter.succeed()
+        self._waiter = None
+
+    def wait_event(self):
+        """A fresh event the replica parks on while its queue is empty."""
+        self._waiter = self._kernel.event(f"serving-arrival:{self.name}")
+        return self._waiter
+
+    def take(self, limit):
+        """Pop up to ``limit`` queued arrivals (one forward pass)."""
+        batch = []
+        while self.queue and len(batch) < limit:
+            batch.append(self.queue.popleft())
+        return batch
+
+
+class _ModelState:
+    __slots__ = ("model_id", "manifest", "replicas", "backlog", "window",
+                 "requests", "completed", "slo_ok", "redispatched")
+
+    def __init__(self, model_id):
+        self.model_id = model_id
+        self.manifest = None
+        self.replicas = {}  # name -> ReplicaHandle, insertion-ordered
+        self.backlog = deque()  # arrivals with no replica to route to
+        self.window = deque()  # (completion_time, latency) for stats()
+        self.requests = 0
+        self.completed = 0
+        self.slo_ok = 0
+        self.redispatched = 0
+
+    def queue_depth(self):
+        return len(self.backlog) + sum(len(r.queue) for r in
+                                       self.replicas.values())
+
+
+class ServingRuntime:
+    """Routers, queues and rolling stats for every registered model."""
+
+    def __init__(self, kernel, metrics, events, latency_window=30.0):
+        self.kernel = kernel
+        self.events = events
+        self.latency_window = latency_window
+        self._models = {}
+        self._m_requests = metrics.counter(
+            "serving_requests_total", ("model",),
+            help="Inference requests dispatched per model")
+        self._m_completed = metrics.counter(
+            "serving_completed_total", ("model",),
+            help="Inference requests completed per model")
+        self._m_queue = metrics.gauge(
+            "serving_queue_depth", ("model",),
+            help="Requests queued (replica queues + unrouted backlog)")
+        self._m_replicas = metrics.gauge(
+            "serving_replicas", ("model",),
+            help="Registered (ready) replicas per model")
+        self._m_latency = metrics.histogram(
+            "serving_request_latency_seconds", ("model",),
+            help="Arrival-to-completion inference latency")
+        self._m_redispatched = metrics.counter(
+            "serving_redispatched_total", ("model",),
+            help="Queued requests re-routed off a departing replica")
+
+    # ------------------------------------------------------------------
+    # Model registry
+    # ------------------------------------------------------------------
+
+    def _state(self, model_id):
+        state = self._models.get(model_id)
+        if state is None:
+            state = self._models[model_id] = _ModelState(model_id)
+        return state
+
+    def ensure_model(self, model_id, manifest):
+        """Idempotently (re)attach a manifest; survives manager restarts."""
+        self._state(model_id).manifest = manifest
+
+    def remove_model(self, model_id):
+        self._models.pop(model_id, None)
+
+    def model_ids(self):
+        return list(self._models)
+
+    def manifest_of(self, model_id):
+        state = self._models.get(model_id)
+        return state.manifest if state is not None else None
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+
+    def dispatch(self, model_id, count=1):
+        """Accept ``count`` requests arriving now (open-loop ingress)."""
+        state = self._state(model_id)
+        now = self.kernel.now
+        state.requests += count
+        self._m_requests.labels(model=model_id).inc(count)
+        for _ in range(count):
+            replica = self._least_loaded(state)
+            if replica is None:
+                state.backlog.append(now)
+            else:
+                replica.queue.append(now)
+                replica.notify()
+        self._m_queue.labels(model=model_id).set(state.queue_depth())
+
+    @staticmethod
+    def _least_loaded(state):
+        best = None
+        for replica in state.replicas.values():
+            if best is None or len(replica.queue) < len(best.queue):
+                best = replica
+        return best
+
+    def register_replica(self, model_id, name):
+        state = self._state(model_id)
+        handle = ReplicaHandle(self.kernel, name)
+        state.replicas[name] = handle
+        # Drain the unrouted backlog across the (now non-empty) fleet.
+        while state.backlog:
+            target = self._least_loaded(state)
+            target.queue.append(state.backlog.popleft())
+            target.notify()
+        self._m_replicas.labels(model=model_id).set(len(state.replicas))
+        self._m_queue.labels(model=model_id).set(state.queue_depth())
+        return handle
+
+    def deregister_replica(self, model_id, handle):
+        state = self._models.get(model_id)
+        if state is None or state.replicas.get(handle.name) is not handle:
+            return
+        del state.replicas[handle.name]
+        moved = len(handle.queue)
+        while handle.queue:
+            arrival = handle.queue.popleft()
+            target = self._least_loaded(state)
+            if target is None:
+                state.backlog.append(arrival)
+            else:
+                target.queue.append(arrival)
+                target.notify()
+        if moved:
+            state.redispatched += moved
+            self._m_redispatched.labels(model=model_id).inc(moved)
+        self._m_replicas.labels(model=model_id).set(len(state.replicas))
+        self._m_queue.labels(model=model_id).set(state.queue_depth())
+
+    def replica_count(self, model_id):
+        state = self._models.get(model_id)
+        return len(state.replicas) if state is not None else 0
+
+    def take_batch(self, model_id, handle, limit):
+        batch = handle.take(limit)
+        state = self._models.get(model_id)
+        if state is not None:
+            self._m_queue.labels(model=model_id).set(state.queue_depth())
+        return batch
+
+    def complete(self, model_id, arrivals):
+        """Record one served batch; latency is measured per request."""
+        state = self._state(model_id)
+        now = self.kernel.now
+        slo = state.manifest.slo_p99 if state.manifest is not None else None
+        histogram = self._m_latency.labels(model=model_id)
+        for arrival in arrivals:
+            latency = now - arrival
+            histogram.observe(latency)
+            state.window.append((now, latency))
+            state.completed += 1
+            if slo is None or latency <= slo:
+                state.slo_ok += 1
+        self._m_completed.labels(model=model_id).inc(len(arrivals))
+
+    # ------------------------------------------------------------------
+    # Stats (read by the autoscaler, the API and benchmarks)
+    # ------------------------------------------------------------------
+
+    def stats(self, model_id):
+        state = self._state(model_id)
+        now = self.kernel.now
+        horizon = now - self.latency_window
+        window = state.window
+        while window and window[0][0] < horizon:
+            window.popleft()
+        p99 = None
+        if window:
+            latencies = sorted(latency for _t, latency in window)
+            p99 = latencies[min(len(latencies) - 1,
+                                int(0.99 * (len(latencies) - 1) + 0.5))]
+        return {
+            "model_id": model_id,
+            "replicas": len(state.replicas),
+            "queue_depth": state.queue_depth(),
+            "requests": state.requests,
+            "completed": state.completed,
+            "slo_ok": state.slo_ok,
+            "redispatched": state.redispatched,
+            "window_p99": p99,
+            "window_samples": len(window),
+        }
+
+    def slo_attainment(self, model_id):
+        """Fraction of completed requests that met the model's SLO."""
+        state = self._state(model_id)
+        if state.completed == 0:
+            return None
+        return state.slo_ok / state.completed

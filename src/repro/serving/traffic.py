@@ -1,0 +1,94 @@
+"""Open-loop synthetic inference traffic.
+
+The generator is *open-loop*: inter-arrival times are drawn from a
+Poisson process whose rate follows the profile, independent of how
+the platform is coping — an overloaded fleet sees queues grow rather
+than arrivals politely slowing down, which is what makes SLO breaches
+observable at all (closed-loop load generators famously hide them).
+
+Profiles give ``rate(t)`` in requests/second:
+
+* :class:`ConstantProfile` — flat rate;
+* :class:`DiurnalProfile` — sinusoid between base and peak over a
+  period, the daily cycle every serving fleet sizes against;
+* :class:`BurstProfile` — flat base with a rectangular burst window,
+  the flash-crowd case that exercises the autoscaler's reaction time.
+
+All randomness comes from the dedicated ``serving-traffic`` kernel
+stream, so traffic never perturbs training-side draws.
+"""
+
+import math
+
+
+class ConstantProfile:
+    def __init__(self, rate):
+        self.rate_rps = rate
+
+    def rate(self, t):
+        return self.rate_rps
+
+
+class DiurnalProfile:
+    """Sinusoidal day: base at t=0, peak half a period later."""
+
+    def __init__(self, base_rate, peak_rate, period=240.0):
+        self.base_rate = base_rate
+        self.peak_rate = peak_rate
+        self.period = period
+
+    def rate(self, t):
+        phase = 0.5 * (1.0 - math.cos(2.0 * math.pi * t / self.period))
+        return self.base_rate + (self.peak_rate - self.base_rate) * phase
+
+
+class BurstProfile:
+    """Flat base rate with one rectangular burst window."""
+
+    def __init__(self, base_rate, burst_rate, burst_start, burst_duration):
+        self.base_rate = base_rate
+        self.burst_rate = burst_rate
+        self.burst_start = burst_start
+        self.burst_duration = burst_duration
+
+    def rate(self, t):
+        if self.burst_start <= t < self.burst_start + self.burst_duration:
+            return self.burst_rate
+        return self.base_rate
+
+
+class TrafficGenerator:
+    """Drives one model's ingress from a profile."""
+
+    def __init__(self, platform, model_id, profile, stream="serving-traffic"):
+        self.platform = platform
+        self.kernel = platform.kernel
+        self.model_id = model_id
+        self.profile = profile
+        self.rng = self.kernel.rng(stream)
+        self.sent = 0
+
+    def run(self, duration):
+        """Process generator: emit arrivals for ``duration`` seconds.
+
+        The time origin is the moment the process starts, so a profile's
+        ``t`` is relative to traffic start, not platform boot.
+        """
+        start = self.kernel.now
+        end = start + duration
+        while True:
+            now = self.kernel.now
+            if now >= end:
+                return self.sent
+            rate = self.profile.rate(now - start)
+            if rate <= 0:
+                # Dead air: step forward without emitting.
+                yield self.kernel.sleep(min(1.0, end - now))
+                continue
+            gap = self.rng.expovariate(rate)
+            if now + gap >= end:
+                yield self.kernel.sleep(end - now)
+                return self.sent
+            yield self.kernel.sleep(gap)
+            self.platform.serving.dispatch(self.model_id)
+            self.sent += 1

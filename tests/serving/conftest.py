@@ -1,0 +1,79 @@
+"""Fixtures for serving-subsystem unit tests (no full platform)."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.events import EventRecorder
+from repro.serving import ServingManifest, ServingRuntime
+from repro.sim import Kernel
+from repro.sim.metrics import MetricsRegistry
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(seed=5)
+
+
+@pytest.fixture
+def metrics():
+    return MetricsRegistry()
+
+
+@pytest.fixture
+def events(kernel):
+    return EventRecorder(kernel)
+
+
+@pytest.fixture
+def runtime(kernel, metrics, events):
+    return ServingRuntime(kernel, metrics, events, latency_window=20.0)
+
+
+def model_manifest(**overrides):
+    base = {
+        "name": "unit-model",
+        "framework": "tensorflow",
+        "model": "resnet50",
+        "gpu_type": "k80",
+        "slo_p99": 0.25,
+    }
+    base.update(overrides)
+    return ServingManifest.from_dict(base)
+
+
+@pytest.fixture
+def stub_platform(kernel, metrics, events, runtime):
+    """Just enough platform surface for runtime-level components."""
+    from repro.core import PlatformConfig
+
+    return SimpleNamespace(kernel=kernel, metrics=metrics, events=events,
+                           serving=runtime, config=PlatformConfig())
+
+
+def make_serving_platform(seed=7, serving=True, **config_overrides):
+    """A small full platform with the serving plane switched on."""
+    from repro import DlaasPlatform
+    from repro.core import PlatformConfig
+
+    defaults = dict(gpu_nodes=2, gpus_per_node=4, management_nodes=2,
+                    serving=serving)
+    defaults.update(config_overrides)
+    platform = DlaasPlatform(seed=seed, config=PlatformConfig(**defaults))
+    platform.start()
+    return platform
+
+
+def api_manifest(**overrides):
+    """A model manifest as a tenant would POST it."""
+    base = {
+        "name": "classifier",
+        "framework": "tensorflow",
+        "model": "resnet50",
+        "gpu_type": "k80",
+        "min_replicas": 1,
+        "max_replicas": 3,
+        "slo_p99": 0.25,
+    }
+    base.update(overrides)
+    return base

@@ -1,0 +1,66 @@
+"""plan_scaling: the autoscaler's pure decision function."""
+
+from .conftest import model_manifest
+
+from repro.serving import plan_scaling
+
+NEVER = float("-inf")
+
+
+def plan(**overrides):
+    base = dict(replicas=2, p99=0.1, queue_depth=0,
+                manifest=model_manifest(min_replicas=1, max_replicas=8,
+                                        slo_p99=0.25),
+                now=100.0, last_scale_up=NEVER, last_scale_down=NEVER,
+                queue_high=16.0, up_cooldown=5.0, down_cooldown=60.0)
+    base.update(overrides)
+    return plan_scaling(**base)
+
+
+class TestScaleUp:
+    def test_latency_breach_adds_half_fleet(self):
+        assert plan(replicas=4, p99=0.3) == 6
+
+    def test_single_replica_breach_adds_one(self):
+        assert plan(replicas=1, p99=0.3) == 2
+
+    def test_queue_breach_without_latency_signal(self):
+        # Per-replica watermark: 40 queued > 16 * 2 replicas.
+        assert plan(replicas=2, p99=None, queue_depth=40) == 3
+
+    def test_capped_at_max_replicas(self):
+        assert plan(replicas=7, p99=0.3) == 8
+        assert plan(replicas=8, p99=0.3) is None
+
+    def test_up_cooldown_blocks(self):
+        assert plan(p99=0.3, now=100.0, last_scale_up=97.0) is None
+        assert plan(p99=0.3, now=100.0, last_scale_up=90.0) == 3
+
+
+class TestScaleDown:
+    def test_calm_removes_one(self):
+        assert plan(replicas=3, p99=0.05, queue_depth=0) == 2
+
+    def test_never_below_min(self):
+        assert plan(replicas=1, p99=0.05) is None
+
+    def test_down_cooldown_blocks(self):
+        assert plan(replicas=3, p99=0.05, now=100.0,
+                    last_scale_down=50.0) is None
+
+    def test_recent_scale_up_blocks_down(self):
+        # A burst just ended: do not flap straight back down.
+        assert plan(replicas=3, p99=0.05, now=100.0,
+                    last_scale_up=50.0) is None
+
+    def test_no_latency_data_counts_as_calm(self):
+        assert plan(replicas=2, p99=None, queue_depth=0) == 1
+
+
+class TestHold:
+    def test_mid_band_holds(self):
+        # p99 between half the SLO and the SLO: neither breach nor calm.
+        assert plan(replicas=2, p99=0.2) is None
+
+    def test_queue_at_watermark_holds(self):
+        assert plan(replicas=2, p99=0.2, queue_depth=32) is None

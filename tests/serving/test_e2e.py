@@ -1,0 +1,201 @@
+"""End-to-end serving tests on a full platform.
+
+Covers the REST/RPC lifecycle, tenancy isolation, the serving=False
+gate, manager crash/restart convergence, and the health probe.
+"""
+
+import pytest
+
+from repro.core import RestClient
+from repro.core.errors import ServingDisabled
+
+from .conftest import api_manifest, make_serving_platform
+
+MANAGER_LABELS = {"dlaas": "core", "app": "serving"}
+
+
+def rest_client(platform, tenant="team-a"):
+    token = platform.tokens.create_tenant(tenant)
+    return RestClient(platform, token)
+
+
+def manager_pods(platform):
+    return [pod for pod in platform.k8s.api.list("Pod")
+            if pod.metadata.labels.get("app") == "serving"
+            and pod.phase == "Running"]
+
+
+class TestServingDisabledGate:
+    def test_client_call_raises(self):
+        platform = make_serving_platform(serving=False)
+        client = platform.client("team-a")
+
+        def scenario():
+            model_id = yield from client.create_model(api_manifest())
+            return model_id
+
+        with pytest.raises(ServingDisabled):
+            platform.run_process(scenario(), limit=600)
+
+    def test_rest_post_is_503(self):
+        platform = make_serving_platform(serving=False)
+        rest = rest_client(platform)
+        response = platform.run_process(
+            rest.post("/models", api_manifest()), limit=600)
+        assert response["status"] == 503
+
+    def test_no_serving_constructs_exist(self):
+        platform = make_serving_platform(serving=False)
+        assert platform.serving is None
+        assert platform.serving_balancer is None
+        assert platform.k8s.api.get_or_none("Deployment",
+                                            "dlaas-serving") is None
+        assert "serving" not in platform.health.snapshot()["components"]
+
+
+class TestRestLifecycle:
+    def test_create_get_list_delete(self):
+        platform = make_serving_platform()
+        rest = rest_client(platform)
+
+        def scenario():
+            response = yield from rest.post("/models", api_manifest())
+            assert response["status"] == 201
+            model_id = response["body"]["model_id"]
+
+            listing = yield from rest.get("/models")
+            assert listing["status"] == 200
+            assert [m["model_id"] for m in listing["body"]] == [model_id]
+
+            # Let the reconciler bring a replica up, then read it back.
+            while True:
+                doc = (yield from rest.get(f"/models/{model_id}"))["body"]
+                if doc.get("ready_replicas", 0) >= 1:
+                    break
+                yield platform.kernel.sleep(2.0)
+            assert doc["status"] == "ACTIVE"
+            assert doc["name"] == "classifier"
+
+            response = yield from rest.delete(f"/models/{model_id}")
+            assert response["status"] == 200
+            while True:
+                doc = (yield from rest.get(f"/models/{model_id}"))["body"]
+                if doc["status"] == "DELETED":
+                    return model_id
+                yield platform.kernel.sleep(2.0)
+
+        model_id = platform.run_process(scenario(), limit=10_000)
+        # Deployment and replica pods are gone.
+        assert platform.k8s.api.get_or_none(
+            "Deployment", f"serving-{model_id}") is None
+        assert platform.events.get("Normal", "ServingModelDeleted",
+                                   "Model", model_id) is not None
+
+    def test_invalid_manifest_is_400(self):
+        platform = make_serving_platform()
+        rest = rest_client(platform)
+        bad = api_manifest(min_replicas=5, max_replicas=2)
+        response = platform.run_process(rest.post("/models", bad), limit=600)
+        assert response["status"] == 400
+
+    def test_unknown_model_is_404(self):
+        platform = make_serving_platform()
+        rest = rest_client(platform)
+        response = platform.run_process(rest.get("/models/model-9999"),
+                                        limit=600)
+        assert response["status"] == 404
+
+
+class TestTenancy:
+    def test_models_are_tenant_scoped(self):
+        platform = make_serving_platform()
+        owner = rest_client(platform, "team-a")
+        intruder = rest_client(platform, "team-b")
+
+        def scenario():
+            response = yield from owner.post("/models", api_manifest())
+            model_id = response["body"]["model_id"]
+            stolen = yield from intruder.get(f"/models/{model_id}")
+            deleted = yield from intruder.delete(f"/models/{model_id}")
+            their_list = yield from intruder.get("/models")
+            return stolen, deleted, their_list
+
+        stolen, deleted, their_list = platform.run_process(scenario(),
+                                                           limit=600)
+        assert stolen["status"] == 404
+        assert deleted["status"] == 404
+        assert their_list["body"] == []
+
+
+class TestManagerDependability:
+    def test_delete_during_manager_outage_converges(self):
+        """Kill the manager, delete the model while the notify RPC has
+        nowhere to land, and check the restarted manager's resync still
+        drives DELETING -> DELETED."""
+        platform = make_serving_platform()
+        client = platform.client("team-a")
+
+        def scenario():
+            model_id = yield from client.create_model(api_manifest())
+            yield from client.wait_for_model_ready(model_id, replicas=1,
+                                                   timeout=600.0)
+
+            victims = manager_pods(platform)
+            assert victims, "no running serving manager pod"
+            platform.k8s.kubectl.delete_pod(victims[0].metadata.name,
+                                            force=True)
+
+            # The notify RPC is lost; the durable write must carry it.
+            yield from client.delete_model(model_id)
+
+            while True:
+                doc = yield from client.get_model(model_id)
+                if doc["status"] == "DELETED":
+                    return model_id
+                yield platform.kernel.sleep(2.0)
+
+        model_id = platform.run_process(scenario(), limit=20_000)
+        assert platform.k8s.api.get_or_none(
+            "Deployment", f"serving-{model_id}") is None
+        # The controller replaced the killed manager pod.
+        assert manager_pods(platform)
+
+
+class TestHealthProbe:
+    def test_serving_probe_reports_ok(self):
+        platform = make_serving_platform()
+
+        def scenario():
+            yield platform.kernel.sleep(60.0)
+            return platform.health.snapshot(), dict(platform.health.up_samples())
+
+        snapshot, up = platform.run_process(scenario(), limit=600)
+        assert snapshot["components"]["serving"]["status"] == "ok"
+        assert up["serving"] == 1.0
+
+    def test_manager_loss_flips_probe(self):
+        platform = make_serving_platform()
+
+        def status():
+            return platform.health.snapshot()["components"]["serving"]["status"]
+
+        def wait_for(scenario_status):
+            for _ in range(120):
+                if status() == scenario_status:
+                    return platform.kernel.now
+                yield platform.kernel.sleep(1.0)
+            raise AssertionError(f"probe never reached {scenario_status!r}")
+
+        def scenario():
+            yield platform.kernel.sleep(30.0)
+            for pod in manager_pods(platform):
+                platform.k8s.kubectl.delete_pod(pod.metadata.name, force=True)
+            # Teardown deregisters the endpoint: the probe dips...
+            down_at = yield from wait_for("down")
+            # ...and the Deployment controller's replacement restores it.
+            up_at = yield from wait_for("ok")
+            return down_at, up_at
+
+        down_at, up_at = platform.run_process(scenario(), limit=10_000)
+        assert down_at < up_at
+        assert up_at - down_at < 60.0  # replacement, not a manual fix

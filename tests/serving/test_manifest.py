@@ -1,0 +1,74 @@
+"""ServingManifest / BatchInferManifest validation."""
+
+import pytest
+
+from repro.core.errors import InvalidManifest
+from repro.serving import BatchInferManifest, ServingManifest
+
+GOOD_MODEL = {
+    "name": "classifier",
+    "framework": "tensorflow",
+    "model": "resnet50",
+    "gpu_type": "k80",
+    "min_replicas": 1,
+    "max_replicas": 4,
+    "slo_p99": 0.3,
+}
+
+GOOD_BATCH = {
+    "name": "score-all",
+    "framework": "tensorflow",
+    "model": "resnet50",
+    "gpu_type": "k80",
+    "items": 350,
+    "shard_size": 100,
+    "workers": 2,
+}
+
+
+class TestServingManifest:
+    def test_round_trip(self):
+        manifest = ServingManifest.from_dict(GOOD_MODEL)
+        assert manifest.name == "classifier"
+        assert manifest.max_replicas == 4
+        again = ServingManifest.from_dict(manifest.to_dict())
+        assert again.to_dict() == manifest.to_dict()
+
+    def test_defaults_applied(self):
+        manifest = ServingManifest.from_dict(GOOD_MODEL)
+        assert manifest.gpus_per_replica == 1
+        assert manifest.max_batch >= 1
+        assert manifest.priority > 0  # serving outranks default training
+
+    def test_problems_collected(self):
+        bad = dict(GOOD_MODEL, framework="caffe3", gpu_type="tpu",
+                   max_replicas=0)
+        bad.pop("name")
+        with pytest.raises(InvalidManifest) as err:
+            ServingManifest.from_dict(bad)
+        assert len(err.value.problems) >= 4
+
+    def test_replica_bounds_ordered(self):
+        with pytest.raises(InvalidManifest):
+            ServingManifest.from_dict(
+                dict(GOOD_MODEL, min_replicas=4, max_replicas=2))
+
+    def test_not_a_dict(self):
+        with pytest.raises(InvalidManifest):
+            ServingManifest.from_dict(None)
+
+
+class TestBatchInferManifest:
+    def test_shard_count(self):
+        manifest = BatchInferManifest.from_dict(GOOD_BATCH)
+        assert manifest.shard_count == 4  # 350 items / 100 per shard
+
+    def test_problems_collected(self):
+        with pytest.raises(InvalidManifest) as err:
+            BatchInferManifest.from_dict(
+                dict(GOOD_BATCH, items=0, workers=-1))
+        assert len(err.value.problems) >= 2
+
+    def test_batch_defaults_to_training_priority(self):
+        manifest = BatchInferManifest.from_dict(GOOD_BATCH)
+        assert manifest.priority == 0

@@ -1,0 +1,91 @@
+"""ServingRuntime data-plane unit tests."""
+
+from .conftest import model_manifest
+
+
+class TestRouting:
+    def test_backlog_until_first_replica(self, kernel, runtime):
+        runtime.ensure_model("m1", model_manifest())
+        runtime.dispatch("m1", count=3)
+        assert runtime.stats("m1")["queue_depth"] == 3
+        handle = runtime.register_replica("m1", "r1")
+        # Backlog drained into the fresh replica's queue.
+        assert len(handle.queue) == 3
+        assert runtime.stats("m1")["queue_depth"] == 3  # queued, not lost
+
+    def test_least_loaded_routing(self, kernel, runtime):
+        runtime.ensure_model("m1", model_manifest())
+        a = runtime.register_replica("m1", "a")
+        b = runtime.register_replica("m1", "b")
+        a.queue.extend([0.0, 0.0, 0.0])
+        runtime.dispatch("m1", count=2)
+        assert len(b.queue) == 2  # both land on the emptier replica
+
+    def test_deregister_reroutes_queue(self, kernel, runtime):
+        runtime.ensure_model("m1", model_manifest())
+        a = runtime.register_replica("m1", "a")
+        b = runtime.register_replica("m1", "b")
+        runtime.dispatch("m1", count=4)
+        queued_on_a = len(a.queue)
+        runtime.deregister_replica("m1", a)
+        stats = runtime.stats("m1")
+        assert stats["replicas"] == 1
+        assert stats["queue_depth"] == 4  # nothing lost
+        assert len(b.queue) == 4
+        assert stats["redispatched"] == queued_on_a
+
+    def test_deregister_last_replica_parks_backlog(self, kernel, runtime):
+        runtime.ensure_model("m1", model_manifest())
+        a = runtime.register_replica("m1", "a")
+        runtime.dispatch("m1", count=2)
+        runtime.deregister_replica("m1", a)
+        assert runtime.stats("m1")["queue_depth"] == 2
+        b = runtime.register_replica("m1", "b")
+        assert len(b.queue) == 2
+
+    def test_stale_handle_deregister_is_noop(self, kernel, runtime):
+        runtime.ensure_model("m1", model_manifest())
+        old = runtime.register_replica("m1", "a")
+        runtime.deregister_replica("m1", old)
+        new = runtime.register_replica("m1", "a")  # restarted pod, same name
+        runtime.deregister_replica("m1", old)  # late teardown of the old one
+        assert runtime.replica_count("m1") == 1
+        assert runtime._models["m1"].replicas["a"] is new
+
+
+class TestAccounting:
+    def test_slo_accounting(self, kernel, runtime):
+        runtime.ensure_model("m1", model_manifest(slo_p99=0.25))
+        handle = runtime.register_replica("m1", "a")
+
+        def driver():
+            runtime.dispatch("m1", count=2)  # arrivals at t=0
+            yield kernel.sleep(0.1)
+            runtime.complete("m1", runtime.take_batch("m1", handle, 1))
+            yield kernel.sleep(0.4)  # second one completes at 0.5 > SLO
+            runtime.complete("m1", runtime.take_batch("m1", handle, 1))
+
+        kernel.run_until_complete(kernel.spawn(driver()), limit=10.0)
+        stats = runtime.stats("m1")
+        assert stats["completed"] == 2
+        assert stats["slo_ok"] == 1
+        assert runtime.slo_attainment("m1") == 0.5
+
+    def test_window_prunes_old_samples(self, kernel, runtime):
+        runtime.ensure_model("m1", model_manifest())
+        handle = runtime.register_replica("m1", "a")
+
+        def driver():
+            runtime.dispatch("m1")
+            runtime.complete("m1", runtime.take_batch("m1", handle, 8))
+            yield kernel.sleep(30.0)  # > latency_window of 20s
+
+        kernel.run_until_complete(kernel.spawn(driver()), limit=60.0)
+        stats = runtime.stats("m1")
+        assert stats["window_samples"] == 0
+        assert stats["window_p99"] is None
+        assert stats["completed"] == 1  # lifetime counters are kept
+
+    def test_attainment_none_before_any_completion(self, kernel, runtime):
+        runtime.ensure_model("m1", model_manifest())
+        assert runtime.slo_attainment("m1") is None
