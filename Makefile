@@ -1,4 +1,4 @@
-.PHONY: check test lint bench perf perf-sharded perf-serving profile
+.PHONY: check test lint bench perf perf-sharded perf-serving perf-gray profile
 
 check:
 	scripts/check.sh
@@ -20,6 +20,9 @@ perf-sharded:
 
 perf-serving:
 	PYTHONPATH=src python benchmarks/bench_serving.py
+
+perf-gray:
+	PYTHONPATH=src python benchmarks/bench_gray_failures.py
 
 profile:
 	PYTHONPATH=src python scripts/profile.py

@@ -33,3 +33,6 @@ PYTHONPATH=src python benchmarks/bench_perf.py --check
 
 echo "== serving smoke gate =="
 PYTHONPATH=src python benchmarks/bench_serving.py --check
+
+echo "== gray-failure smoke gate =="
+PYTHONPATH=src python benchmarks/bench_gray_failures.py --check

@@ -6,17 +6,24 @@ The demo drives the full observability pipeline: the scraper samples
 store, the injected API crash dips ``up{component=api}`` and walks the
 ``ApiDown`` alert through pending -> firing -> resolved, and the event
 log records the whole episode. The dashboard then renders component
-sparklines, key series, active alerts and the recent events.
+sparklines, key series, gray-divergence scores, active alerts and the
+recent events.
+
+``--gray`` injects a gray fault instead of the crash — a slow API
+replica whose health probe keeps passing — so the divergence panel and
+the GrayFailureSlow alert light up while every ``up`` sparkline stays
+solid.
 
 Usage::
 
-    PYTHONPATH=src python scripts/dashboard.py [--steps N] [--no-crash]
+    PYTHONPATH=src python scripts/dashboard.py [--steps N]
+        [--no-crash | --gray]
 """
 
 import argparse
 
 from repro.bench import bench_manifest, build_platform
-from repro.core import ComponentCrasher
+from repro.core import ComponentCrasher, GrayFailureInjector
 from repro.monitoring import render_dashboard
 
 
@@ -26,9 +33,18 @@ def main(argv=None):
                         help="training steps for the demo job")
     parser.add_argument("--no-crash", action="store_true",
                         help="skip the injected API crash")
+    parser.add_argument("--gray", action="store_true",
+                        help="inject a gray fault (slow API replica) "
+                             "instead of the crash")
     args = parser.parse_args(argv)
 
-    platform = build_platform("k80", gpus_per_node=4)
+    overrides = {}
+    if args.gray:
+        # Tight cadence + short stats window so the divergence shows up
+        # within the demo's few simulated seconds.
+        overrides = dict(scrape_interval=0.25, alert_eval_interval=0.25,
+                         gray_window=3.0, gray_alert_for=0.5)
+    platform = build_platform("k80", gpus_per_node=4, **overrides)
     manifest = bench_manifest("vgg16", "tensorflow", gpus=1, gpu_type="k80",
                               steps=args.steps, learners=1)
     client = platform.client("dashboard-demo")
@@ -36,7 +52,24 @@ def main(argv=None):
     job_id = platform.run_process(client.submit(manifest))
     platform.run_for(10.0)  # deploy + start training
 
-    if not args.no_crash:
+    if args.gray:
+        # Detection is differential, so the replicas need a steady
+        # request stream to diverge on: poll job status through the
+        # balancer (round-robined across the API endpoints).
+        def poll():
+            while True:
+                yield from client.status(job_id)
+                yield platform.kernel.sleep(0.1)
+
+        platform.kernel.spawn(poll(), name="status-poller")
+        platform.run_for(4.0)  # healthy peer baseline
+        injector = GrayFailureInjector(platform)
+        target = injector.api_endpoints()[0]
+        injector.slow_endpoint(target, extra_latency=0.05, duration=10.0)
+        print(f"injected slow-endpoint gray fault on {target} "
+              f"at t={platform.kernel.now:.1f}s (health probe stays up)\n")
+        platform.run_for(18.0)  # divergence scored, alert fires, resolves
+    elif not args.no_crash:
         crasher = ComponentCrasher(platform)
         when, pod = crasher.crash_api()
         print(f"injected API crash at t={when:.1f}s (pod {pod})\n")

@@ -13,7 +13,9 @@ way a dynamic metric name fragments the series namespace:
     good:  events.emit_event("Warning", "ComponentCrashed", "Pod", pod, ...)
 
 Also validates the ``TERMINAL_EVENT_FOR`` mapping literal in
-``src/repro/core/states.py`` against the same vocabulary. Exits
+``src/repro/core/states.py`` and every ``AlertRule(...)`` construction
+(the rule name and its event reason feed the alert engine's dynamic
+emit, which is exempted below) against the same vocabulary. Exits
 non-zero listing violations; wired into ``scripts/check.sh`` (and thus
 ``make check``). Mirrors ``scripts/lint_metric_names.py``.
 """
@@ -151,6 +153,73 @@ def check_terminal_mapping(reasons):
     return violations
 
 
+def loop_string_bindings(tree):
+    """Names bound by ``for (a, b, ...) in ((literals), ...)`` loops,
+    mapped to the string constants they can take — the idiom the
+    default rule pack uses to stamp out the per-component Down rules."""
+    bindings = {}
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.For) and isinstance(node.target, ast.Tuple)
+                and isinstance(node.iter, ast.Tuple)):
+            continue
+        targets = node.target.elts
+        for row in node.iter.elts:
+            if not (isinstance(row, ast.Tuple)
+                    and len(row.elts) == len(targets)):
+                continue
+            for target, value in zip(targets, row.elts):
+                if (isinstance(target, ast.Name)
+                        and isinstance(value, ast.Constant)
+                        and isinstance(value.value, str)):
+                    bindings.setdefault(target.id, set()).add(value.value)
+    return bindings
+
+
+def check_alert_rules(path, reasons):
+    """Alert-rule names double as event reasons through the engine's
+    dynamic ``emit_event`` (exempted above); validate the literals at
+    every ``AlertRule(...)`` construction so the exemption stays sound."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    bindings = loop_string_bindings(tree)
+    violations = []
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+                and node.func.id == "AlertRule"):
+            continue
+        where = f"{path.relative_to(ROOT)}:{node.lineno}"
+        names = literal_values(node.args[0]) if node.args else None
+        if names is None and node.args and isinstance(node.args[0], ast.Name):
+            bound = bindings.get(node.args[0].id)
+            if bound:
+                names = sorted(bound)
+        if names is None:
+            violations.append(
+                f"{where}: AlertRule name must be a string literal "
+                f"(it becomes the alert's event reason)")
+            names = []
+        reason_values = list(names)
+        for keyword in node.keywords:
+            if keyword.arg != "event_reason":
+                continue
+            explicit = literal_values(keyword.value)
+            if explicit is None:
+                violations.append(
+                    f"{where}: dynamic AlertRule event_reason "
+                    f"({ast.unparse(keyword.value)})")
+            else:
+                reason_values = explicit  # overrides the name default
+        for value in names:
+            if not REASON_RE.match(value):
+                violations.append(
+                    f"{where}: alert rule name {value!r} is not CamelCase")
+        for value in reason_values:
+            if value not in reasons:
+                violations.append(
+                    f"{where}: alert event reason {value!r} is not "
+                    f"registered in repro.core.events.REASONS")
+    return violations
+
+
 def main():
     reasons = load_reasons()
     violations = [
@@ -160,6 +229,7 @@ def main():
     violations.extend(check_terminal_mapping(reasons))
     for path in sorted(SRC.rglob("*.py")):
         violations.extend(check_file(path, reasons))
+        violations.extend(check_alert_rules(path, reasons))
     for line in violations:
         print(line)
     if violations:

@@ -21,7 +21,7 @@ from .errors import (
     RateLimited,
 )
 from .events import EVENT_NORMAL, EVENT_WARNING, EventRecorder, PlatformEvent
-from .faults import ComponentCrasher
+from .faults import ComponentCrasher, GrayFailureInjector
 from .manifest import DataStoreRef, TrainingManifest
 from .observability import ClusterMonitor
 from .platform import DlaasPlatform, PlatformConfig
@@ -57,6 +57,7 @@ __all__ = [
     "COMPLETED",
     "ClusterMonitor",
     "ComponentCrasher",
+    "GrayFailureInjector",
     "DEPLOYING",
     "DOWNLOADING",
     "DataStoreRef",

@@ -79,6 +79,11 @@ REASONS = frozenset({
     "BatchShardRequeued",
     "BatchInferCompleted",
     "BatchInferStalled",
+    # Gray failures (repro.sim.faults / repro.monitoring.differential)
+    "FaultInjected",
+    "GrayFailureSlow",
+    "GrayFailurePartition",
+    "GrayFailureDiskStall",
     # Substrates
     "LeaderElected",
     "MongoMemberDown",

@@ -1,10 +1,20 @@
-"""Component crash injection for the dependability experiments.
+"""Component crash and gray-fault injection for the dependability
+experiments.
 
 The paper's Fig. 4 methodology: "manually crashing various components
 (using the kubectl tool of K8S) and measuring time taken for the
-component to restart." These helpers locate each component's pod and
-crash it; recovery is observed through ``component-ready`` trace events
+component to restart." :class:`ComponentCrasher` provides those
+crashes; recovery is observed through ``component-ready`` trace events
 each component emits when it starts serving again.
+
+:class:`GrayFailureInjector` covers the failure class the paper never
+tested — faults that degrade a component *without* failing its health
+probe: slow endpoints, asymmetric one-way partitions, probabilistic
+packet loss/duplication, and disk stalls on etcd/mongo members. Each
+helper maps a platform-level target to the fabric/member primitive and
+routes the injection through ``platform.faults`` so the counter
+metric, the ``FaultInjected`` event and the bounded injection ring all
+record it.
 """
 
 from . import layout
@@ -102,3 +112,109 @@ class ComponentCrasher:
             if record.time > crash_time:
                 return record.time - crash_time
         return None
+
+
+class GrayFailureInjector:
+    """Gray faults against a running platform: degrade, don't crash.
+
+    Every injection goes through ``platform.faults.inject_gray`` so the
+    ``fault_injected_total{target,kind}`` counter, the ``FaultInjected``
+    Warning event and the bounded injection ring record it; with a
+    ``duration`` the fault reverts itself on schedule. Targets keep
+    passing their health probes throughout — detection is the
+    differential detector's job, not the liveness probes'.
+    """
+
+    def __init__(self, platform):
+        self.platform = platform
+        self.network = platform.network
+        self.faults = platform.faults
+
+    # ------------------------------------------------------------------
+    # Target discovery
+    # ------------------------------------------------------------------
+
+    def api_endpoints(self):
+        """Live API replica addresses, balancer order."""
+        return list(self.platform.api_balancer.endpoints)
+
+    def mongo_secondaries(self):
+        primary = self.platform.mongo.primary_id()
+        return [m for m in self.platform.mongo.member_ids
+                if m != primary and self.platform.mongo.member(m).alive]
+
+    def etcd_followers(self):
+        leader = self.platform.etcd.leader()
+        leader_id = leader.node_id if leader is not None else None
+        return [n for n in self.platform.etcd.node_ids if n != leader_id]
+
+    # ------------------------------------------------------------------
+    # The four gray fault kinds
+    # ------------------------------------------------------------------
+
+    def slow_endpoint(self, address, extra_latency, duration=None):
+        """Every message to ``address`` pays ``extra_latency`` seconds."""
+        self.faults.inject_gray(
+            address, "slow",
+            apply=lambda: self.network.degrade(address,
+                                               extra_latency=extra_latency),
+            revert=lambda: self.network.restore(address),
+            duration=duration)
+        return address
+
+    def oneway_partition(self, src, dst, duration=None):
+        """Block the ``src -> dst`` direction only."""
+        self.faults.inject_gray(
+            dst, "partition",
+            apply=lambda: self.network.partition_oneway(src, dst),
+            revert=lambda: self.network.heal_oneway(src, dst),
+            duration=duration,
+            reason=f"oneway:{src}")
+        return dst
+
+    def lossy_endpoint(self, address, loss=0.0, duplicate=0.0, duration=None):
+        """Probabilistically drop and/or duplicate messages to ``address``."""
+        self.faults.inject_gray(
+            address, "loss" if loss else "duplicate",
+            apply=lambda: self.network.degrade(address, loss=loss,
+                                               duplicate=duplicate),
+            revert=lambda: self.network.restore(address),
+            duration=duration)
+        return address
+
+    def disk_stall_mongo(self, member_id, delay, duration=None):
+        """Every write op on the member hangs ``delay`` s in "fsync".
+
+        Keep ``delay`` under the replica set's 0.25 s replicate
+        deadline or the stall degenerates into visible write errors.
+        """
+        member = self.platform.mongo.member(member_id)
+
+        def apply():
+            member.disk_stall = delay
+
+        def revert():
+            member.disk_stall = 0.0
+
+        self.faults.inject_gray(member_id, "disk-stall", apply=apply,
+                                revert=revert, duration=duration)
+        return member_id
+
+    def disk_stall_etcd(self, node_id, delay, duration=None):
+        """Every log-carrying append on the node hangs ``delay`` s.
+
+        Keep ``delay`` under the Raft rpc_timeout (0.06 s default) so
+        the leader's appends still succeed — slowly — instead of
+        timing out into crash-style errors.
+        """
+        node = self.platform.etcd.node(node_id)
+
+        def apply():
+            node.disk_stall = delay
+
+        def revert():
+            node.disk_stall = 0.0
+
+        self.faults.inject_gray(node_id, "disk-stall", apply=apply,
+                                revert=revert, duration=duration)
+        return node_id

@@ -114,6 +114,19 @@ class PlatformConfig:
     # Optional bearer token gating GET /metrics and GET /healthz
     # (None = unauthenticated, the current behaviour).
     metrics_auth: str = None
+    # Gray-failure detection (repro.monitoring.differential): the
+    # DifferentialDetector scores each endpoint's windowed mean RPC
+    # latency, error rate and served-vs-requested flow against the
+    # median of its role peers (median + MAD robust z-score) and
+    # publishes ``gray_divergence`` recording series that the
+    # GrayFailure{Slow,Partition,DiskStall} alert rules threshold.
+    # Pure consumer of scraped series — the simulated timeline is
+    # bit-identical with detection on or off.
+    gray_detection: bool = True
+    gray_window: float = 8.0  # trailing stats window, seconds
+    gray_min_count: int = 4  # min calls in window to score an endpoint
+    gray_divergence_threshold: float = 3.0  # robust z-score that alerts
+    gray_alert_for: float = 1.0  # GrayFailure* hold before firing
 
     # Simulator fast path. On: cancellable timers with lazy heap
     # deletion, indexed docstore queries, and copy-elided reads behind
@@ -193,7 +206,8 @@ class DlaasPlatform:
         # bookkeeping, so it cannot perturb the timeline, and tests can
         # assert on events regardless of the monitoring flag.
         self.events = EventRecorder(self.kernel, metrics=self.metrics)
-        self.faults = FaultInjector(self.kernel, tracer=self.tracer)
+        self.faults = FaultInjector(self.kernel, tracer=self.tracer,
+                                    metrics=self.metrics, events=self.events)
         self.network = Network(
             self.kernel,
             latency=LatencyModel(self.config.network_latency,

@@ -32,6 +32,11 @@ class MongoMember:
         self.database = Database(member_id, use_planner=fast_path)
         self.alive = False
         self.syncing = False
+        # Gray fault: seconds every write op hangs in "fsync" before it
+        # succeeds. Reads are untouched and the member stays alive, so
+        # health probes keep passing while writes through this member
+        # silently slow down. 0.0 (healthy) adds no sleeps at all.
+        self.disk_stall = 0.0
         self.server = Server(kernel, network, member_id, service_time=service_time,
                              copy_responses=fast_path)
         self.server.add_method("command", self._on_command)
@@ -160,13 +165,19 @@ class MongoMember:
     def _on_command(self, request):
         if not self.is_primary:
             raise NoPrimary(f"{self.member_id} is not primary")
+        if self.disk_stall and request["op"] in self._WRITE_OPS:
+            yield self.kernel.sleep(self.disk_stall)
         result = self._execute(request)
         if request["op"] in self._WRITE_OPS:
             yield from self.replica_set.fan_out(self.member_id, request)
         return result
 
     def _on_replicate(self, request):
-        # Secondaries apply the primary's write stream verbatim.
+        # Secondaries apply the primary's write stream verbatim. (A
+        # generator that yields nothing when disk_stall is 0, so the
+        # healthy replication timeline is untouched.)
+        if self.disk_stall and request["op"] in self._WRITE_OPS:
+            yield self.kernel.sleep(self.disk_stall)
         return self._execute(request)
 
 

@@ -26,6 +26,29 @@ class LatencyModel:
         return self.base + rng.random() * self.jitter
 
 
+class EndpointImpairment:
+    """Gray-fault knobs for a single endpoint (a degraded link/NIC).
+
+    All-zero means healthy; the fabric only consults an instance for
+    endpoints present in ``Network._impaired``, so healthy traffic
+    never pays for the feature (no extra RNG draws, no extra sleeps —
+    the simulated timeline is bit-identical with nothing degraded).
+    """
+
+    __slots__ = ("extra_latency", "loss", "duplicate")
+
+    def __init__(self, extra_latency=0.0, loss=0.0, duplicate=0.0):
+        if extra_latency < 0:
+            raise ValueError(f"extra_latency must be >= 0: {extra_latency}")
+        if not 0.0 <= loss < 1.0:
+            raise ValueError(f"loss must be in [0, 1): {loss}")
+        if not 0.0 <= duplicate <= 1.0:
+            raise ValueError(f"duplicate must be in [0, 1]: {duplicate}")
+        self.extra_latency = extra_latency
+        self.loss = loss
+        self.duplicate = duplicate
+
+
 class _DeadlineCall(Event):
     """The call-vs-deadline race, wired as a plain event.
 
@@ -114,7 +137,8 @@ class _RemoteCall(Event):
             self.fail(exc)
 
     def _settle_metrics(self, code):
-        self._network._observe_call(self._method, code, self._started)
+        self._network._observe_call(self._method, code, self._started,
+                                    self._address)
 
 
 def _encode_error(exc):
@@ -151,6 +175,13 @@ class Network:
         self.debug_freeze = debug_freeze
         self._servers = {}
         self._partitions = set()
+        # Gray faults: (src, dst) directions blocked one-way, and
+        # per-endpoint impairments (added latency / loss / duplication).
+        # The impairment RNG is a dedicated stream created lazily on
+        # the first degrade() so healthy runs draw nothing from it.
+        self._oneway = set()
+        self._impaired = {}
+        self._gray_rng = None
         self._rng = kernel.rng("network")
         self.calls_total = 0
         self.calls_failed = 0
@@ -170,12 +201,31 @@ class Network:
             self._m_duration = metrics.histogram(
                 "rpc_client_duration_seconds", ("method",),
                 help="RPC wall time from initiation to response")
+            # Per-endpoint families feeding the differential detector
+            # (repro.monitoring.differential): plain counters — a
+            # windowed mean needs only a count and a duration sum, at a
+            # fraction of a histogram's scrape cost per endpoint.
+            self._m_endpoint_calls = metrics.counter(
+                "rpc_endpoint_requests_total", ("endpoint", "method", "code"),
+                help="RPC invocations by target endpoint and outcome")
+            self._m_endpoint_latency = metrics.counter(
+                "rpc_endpoint_latency_seconds_total", ("endpoint", "method"),
+                help="Summed RPC wall time by target endpoint")
+            self._m_handled = metrics.counter(
+                "rpc_server_handled_total", ("endpoint",),
+                help="Handler dispatches at each endpoint (counts "
+                     "duplicate deliveries the caller never sees)")
         else:
             self._m_calls = self._m_duration = None
+            self._m_endpoint_calls = self._m_endpoint_latency = None
+            self._m_handled = None
         # labels() resolved once per (method, code) / method — the
         # children are stable, and the per-RPC lookup cost is measurable.
         self._call_children = {}
         self._duration_children = {}
+        self._endpoint_children = {}
+        self._endpoint_latency_children = {}
+        self._handled_children = {}
 
     # ------------------------------------------------------------------
     # Endpoint registry
@@ -257,7 +307,7 @@ class Network:
             if server is None or not server.running:
                 raise Unavailable(f"no live endpoint at {address} "
                                   f"(shard {self._port.shard_id})")
-            if self.is_partitioned(caller, address):
+            if self._blocked(caller, address):
                 raise Unavailable(f"{caller} partitioned from {address}")
             try:
                 response = yield server.dispatch(method, request)
@@ -295,9 +345,50 @@ class Network:
 
     def heal_all(self):
         self._partitions.clear()
+        self._oneway.clear()
 
     def is_partitioned(self, a, b):
         return frozenset((a, b)) in self._partitions
+
+    def partition_oneway(self, src, dst):
+        """Block messages from ``src`` to ``dst`` only (asymmetric
+        partition): ``src``'s requests to ``dst`` vanish, and so do
+        ``dst``'s *responses* back to ``src`` — but ``dst`` can still
+        initiate calls to ``src``. The classic gray failure: both ends
+        look alive to a symmetric health check."""
+        self._oneway.add((src, dst))
+
+    def heal_oneway(self, src, dst):
+        self._oneway.discard((src, dst))
+
+    def _blocked(self, src, dst):
+        """Is the ``src -> dst`` direction unreachable?"""
+        return (frozenset((src, dst)) in self._partitions
+                or ((src, dst) in self._oneway if self._oneway else False))
+
+    # ------------------------------------------------------------------
+    # Endpoint impairments (gray faults)
+    # ------------------------------------------------------------------
+
+    def degrade(self, address, extra_latency=0.0, loss=0.0, duplicate=0.0):
+        """Impair the endpoint at ``address``: every message to it pays
+        ``extra_latency`` seconds (a slow node/NIC), is lost with
+        probability ``loss``, and is delivered twice with probability
+        ``duplicate`` (the server runs the handler again; the second
+        response is discarded in flight). The server itself stays
+        registered and serving — health probes keep passing."""
+        impairment = EndpointImpairment(extra_latency, loss, duplicate)
+        if (loss or duplicate) and self._gray_rng is None:
+            self._gray_rng = self.kernel.rng("grayfaults")
+        self._impaired[address] = impairment
+        return impairment
+
+    def restore(self, address):
+        """Clear any impairment on ``address``."""
+        self._impaired.pop(address, None)
+
+    def impairment(self, address):
+        return self._impaired.get(address)
 
     # ------------------------------------------------------------------
     # Calls
@@ -332,12 +423,28 @@ class Network:
             yield self.kernel.sleep(self.latency.sample(self._rng))
             if self.loss_rate and self._rng.random() < self.loss_rate:
                 raise Unavailable(f"message to {address} lost")
+            # Gray impairments: only calls to a degraded endpoint enter
+            # this block, so healthy traffic costs no extra RNG draws
+            # or sleeps and the no-fault timeline stays bit-identical.
+            impair = self._impaired.get(address) if self._impaired else None
+            if impair is not None:
+                if impair.extra_latency:
+                    yield self.kernel.sleep(impair.extra_latency)
+                if impair.loss and self._gray_rng.random() < impair.loss:
+                    raise Unavailable(
+                        f"message to {address} lost (degraded link)")
             server = self._servers.get(address)
             if server is None or not server.running:
                 raise Unavailable(f"no live endpoint at {address}")
-            if self.is_partitioned(caller, address):
+            if self._blocked(caller, address):
                 raise Unavailable(f"{caller} partitioned from {address}")
             snapshot = deep_copy_payload(request) if self.debug_freeze else None
+            if (impair is not None and impair.duplicate
+                    and self._gray_rng.random() < impair.duplicate):
+                # Duplicate delivery: the server handles the message a
+                # second time; the extra response is discarded in
+                # flight. Only the server-side dispatch counter sees it.
+                server.dispatch(method, request)
             handler_process = server.dispatch(method, request)
             try:
                 response = yield handler_process
@@ -348,7 +455,7 @@ class Network:
                     f"handler {address}/{method} mutated its request in place "
                     "(violates the single-serialization contract)")
             yield self.kernel.sleep(self.latency.sample(self._rng))
-            if self.is_partitioned(caller, address):
+            if self._blocked(address, caller):
                 raise Unavailable(f"response from {address} dropped by partition")
             return response
         except Exception as exc:
@@ -356,13 +463,13 @@ class Network:
             code = type(exc).__name__
             raise
         finally:
-            self._observe_call(method, code, started)
+            self._observe_call(method, code, started, address)
             if self.tracer is not None:
                 self.tracer.emit("network", "rpc", caller=caller, address=address, method=method)
 
-    def _observe_call(self, method, code, started):
+    def _observe_call(self, method, code, started, address=None):
         """Record one finished call (local or cross-shard) into the
-        cached per-(method, code) metric children."""
+        cached per-(method, code) and per-endpoint metric children."""
         if self._m_calls is None:
             return
         counter = self._call_children.get((method, code))
@@ -375,3 +482,28 @@ class Network:
             histogram = self._duration_children[method] = \
                 self._m_duration.labels(method=method)
         histogram.observe(self.kernel.now - started)
+        if address is None:
+            return
+        key = (address, method, code)
+        endpoint_counter = self._endpoint_children.get(key)
+        if endpoint_counter is None:
+            endpoint_counter = self._endpoint_children[key] = \
+                self._m_endpoint_calls.labels(endpoint=address, method=method,
+                                              code=code)
+        endpoint_counter.inc()
+        latency_counter = self._endpoint_latency_children.get(key[:2])
+        if latency_counter is None:
+            latency_counter = self._endpoint_latency_children[key[:2]] = \
+                self._m_endpoint_latency.labels(endpoint=address,
+                                                method=method)
+        latency_counter.inc(self.kernel.now - started)
+
+    def observe_dispatch(self, address):
+        """Server-side tally of one handler dispatch at ``address``."""
+        if self._m_handled is None:
+            return
+        counter = self._handled_children.get(address)
+        if counter is None:
+            counter = self._handled_children[address] = \
+                self._m_handled.labels(endpoint=address)
+        counter.inc()

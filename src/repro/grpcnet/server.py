@@ -72,6 +72,10 @@ class Server:
 
     def dispatch(self, method, request):
         """Run ``method`` for one request; returns the handler process."""
+        # Server-side delivery count: a duplicated message shows up here
+        # twice while the caller's request counter moves once — the flow
+        # anomaly the differential detector keys on.
+        self.network.observe_dispatch(self.address)
         handler = self._methods.get(method)
         process = self.kernel.spawn(
             self._serve(handler, method, request),

@@ -22,6 +22,7 @@ from .alerts import (
     default_rule_pack,
 )
 from .dashboard import render_dashboard, sparkline
+from .differential import DifferentialDetector, robust_score, role_of
 from .health import HealthRegistry, PodGroupProbe, Probe, register_platform_probes
 from .scraper import MetricsScraper
 from .stack import EventFlusher, MonitoringStack
@@ -30,6 +31,7 @@ __all__ = [
     "AlertEngine",
     "AlertRule",
     "Condition",
+    "DifferentialDetector",
     "EventFlusher",
     "FIRING",
     "HealthRegistry",
@@ -47,5 +49,7 @@ __all__ = [
     "default_rule_pack",
     "register_platform_probes",
     "render_dashboard",
+    "robust_score",
+    "role_of",
     "sparkline",
 ]

@@ -400,6 +400,35 @@ def default_rule_pack(config):
         Metric("workqueue_depth") > 50,
         for_=service_for, severity="warning",
         description="a reconciler workqueue is backing up"))
+    if getattr(config, "gray_detection", False):
+        # Gray failures: the differential detector's gray_divergence
+        # recording series score each endpoint against its role peers
+        # (repro.monitoring.differential). The three signals map to the
+        # three injectable gray fault families; the shared ``for_``
+        # hold rides out a single-window statistical blip.
+        threshold = config.gray_divergence_threshold
+        gray_for = config.gray_alert_for
+        rules.append(AlertRule(
+            "GrayFailureSlow",
+            Metric("gray_divergence", signal="latency") > threshold,
+            for_=gray_for, severity="warning",
+            description="an endpoint's windowed mean RPC latency diverges "
+                        "from its role peers while its health probe stays "
+                        "up (slow node / degraded NIC)"))
+        rules.append(AlertRule(
+            "GrayFailurePartition",
+            Metric("gray_divergence", signal="link") > threshold,
+            for_=gray_for, severity="warning",
+            description="an endpoint's error rate diverges from its role "
+                        "peers or it serves more requests than callers "
+                        "sent (asymmetric partition / loss / duplication)"))
+        rules.append(AlertRule(
+            "GrayFailureDiskStall",
+            Metric("gray_divergence", signal="write_latency") > threshold,
+            for_=gray_for, severity="warning",
+            description="an endpoint's write/replication latency diverges "
+                        "from its role peers (stalling disk under a "
+                        "member that still answers reads)"))
     if getattr(config, "serving", False):
         rules.append(AlertRule(
             "ServingDown",

@@ -55,6 +55,25 @@ def render_dashboard(platform, width=40, events_tail=10):
                 latest = values[-1] if values else 0.0
                 lines.append(f"  {name:<26} {latest:>8g} [{sparkline(values, width)}]")
 
+    gray = store.series("gray_divergence")
+    if gray:
+        lines.append("")
+        lines.append("-- gray divergence (robust score vs role peers) --")
+        quiet = 0
+        for series in gray:
+            labels = series.labels_dict
+            values = series.values()
+            latest = values[-1] if values else 0.0
+            if max(values, default=0.0) < 0.5:
+                quiet += 1  # within peer baseline the whole window
+                continue
+            tag = (f"{labels.get('component', '?')}"
+                   f"/{labels.get('signal', '?')}")
+            lines.append(
+                f"  {tag:<32} {latest:>6.1f} [{sparkline(values, width)}]")
+        if quiet:
+            lines.append(f"  ({quiet} series within peer baseline)")
+
     lines.append("")
     lines.append("-- alerts --")
     active = sorted(stack.engine.active.values(),

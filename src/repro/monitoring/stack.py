@@ -15,6 +15,7 @@ bit-identical with monitoring on or off.
 """
 
 from .alerts import AlertEngine, default_rule_pack
+from .differential import DifferentialDetector
 from .scraper import MetricsScraper
 from ..sim.timeseries import TimeSeriesStore
 
@@ -82,6 +83,15 @@ class MonitoringStack:
             platform.kernel, self.store, events=platform.events,
             metrics=platform.metrics, interval=config.alert_eval_interval,
             staleness=3.0 * config.scrape_interval)
+        # Gray-failure detection: the detector runs as a recording rule
+        # (pure series-store reads) so divergence scores land in the
+        # store before the GrayFailure* alert rules of the same pass.
+        if getattr(config, "gray_detection", False):
+            self.detector = DifferentialDetector(
+                window=config.gray_window, min_count=config.gray_min_count)
+            self.engine.add_recording_rule("gray_divergence", self.detector)
+        else:
+            self.detector = None
         for rule in default_rule_pack(config):
             self.engine.add_rule(rule)
         self.flusher = EventFlusher(

@@ -105,6 +105,11 @@ class RaftNode:
         self._pokes = {}  # peer -> event, to wake the replicator early
         self._last_heartbeat = 0.0
         self._procs = set()
+        # Gray fault: seconds every log-carrying append hangs in the
+        # simulated disk before being applied. Pure heartbeats (no
+        # entries) skip the stall, so elections don't trip — the node
+        # stays a healthy-looking follower that replicates slowly.
+        self.disk_stall = 0.0
 
         self.server = Server(kernel, network, node_id)
         self.server.add_method("request_vote", self._on_request_vote)
@@ -300,6 +305,10 @@ class RaftNode:
                                 voter_id=self.node_id)
 
     def _on_append_entries(self, request):
+        # A generator that yields nothing while disk_stall is 0, so the
+        # healthy replication timeline is untouched.
+        if self.disk_stall and request.entries:
+            yield self.kernel.sleep(self.disk_stall)
         if request.term < self.current_term:
             return AppendEntriesReply(
                 term=self.current_term, success=False, follower_id=self.node_id,

@@ -2,24 +2,55 @@
 
 The paper evaluates recovery by *manually crashing* components with
 kubectl (Fig. 4) and argues resilience to random node/process failures.
-This module provides both: one-shot scheduled crashes, and Poisson
-crash processes with a given MTBF, each targeting a crash callback
-supplied by the component under test.
+This module provides both — one-shot scheduled crashes and Poisson
+crash processes with a given MTBF — plus the *gray* fault class the
+paper never tested: impairments applied and later reverted while the
+target keeps passing its health probe (slow endpoints, asymmetric
+partitions, packet loss/duplication, disk stalls).
+
+Every injection is recorded three ways: a bounded in-memory ring
+(``injected``, the most recent entries only — a long chaos soak must
+not grow memory without bound), the ``fault_injected_total`` counter
+metric (the durable record), and a ``FaultInjected`` Warning platform
+event so tests can assert detection-follows-injection ordering from
+the operational record alone.
 """
+
+from collections import deque
 
 
 class FaultInjector:
-    """Schedules crashes against registered targets."""
+    """Schedules crashes and gray faults against registered targets."""
 
-    def __init__(self, kernel, tracer=None):
+    def __init__(self, kernel, tracer=None, metrics=None, events=None,
+                 injected_cap=256):
         self._kernel = kernel
         self._tracer = tracer
-        self.injected = []
+        self._events = events
+        self.injected = deque(maxlen=injected_cap)
+        if metrics is not None:
+            self._m_injected = metrics.counter(
+                "fault_injected_total", ("target", "kind"),
+                help="Fault injections by target and fault kind")
+        else:
+            self._m_injected = None
+
+    def _record(self, name, kind, reason):
+        self.injected.append((self._kernel.now, name, reason))
+        if self._m_injected is not None:
+            self._m_injected.labels(target=name, kind=kind).inc()
+        if self._events is not None:
+            self._events.emit_event(
+                "Warning", "FaultInjected", "Component", name,
+                message=f"{kind} fault injected ({reason})")
+        if self._tracer is not None:
+            self._tracer.emit(
+                "fault-injector",
+                "crash-injected" if kind == "crash" else "gray-injected",
+                target=name, reason=reason, fault=kind)
 
     def _fire(self, name, crash, reason):
-        self.injected.append((self._kernel.now, name, reason))
-        if self._tracer is not None:
-            self._tracer.emit("fault-injector", "crash-injected", target=name, reason=reason)
+        self._record(name, "crash", reason)
         crash()
 
     def crash_at(self, when, name, crash, reason="scheduled"):
@@ -53,3 +84,41 @@ class FaultInjector:
                 self._fire(name, crash, "poisson")
 
         return self._kernel.spawn(driver(), name=f"faults:{name}")
+
+    # ------------------------------------------------------------------
+    # Gray faults
+    # ------------------------------------------------------------------
+
+    def inject_gray(self, name, kind, apply, revert=None, duration=None,
+                    delay=0.0, reason=None):
+        """Apply a gray fault to ``name`` and optionally schedule its end.
+
+        ``apply``/``revert`` are zero-argument callables — typically a
+        ``Network.degrade``/``restore`` pair or a disk-stall setter.
+        ``kind`` labels the injection record ("slow", "partition",
+        "loss", "duplicate", "disk-stall", ...). With both ``revert``
+        and ``duration`` given, the fault clears ``duration`` seconds
+        after it took effect; with ``delay`` the application itself is
+        deferred. Unlike a crash, the target keeps serving throughout.
+        """
+        if duration is not None and duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+
+        def clear():
+            if self._tracer is not None:
+                self._tracer.emit("fault-injector", "gray-cleared",
+                                  target=name, fault=kind)
+            revert()
+
+        def fire():
+            self._record(name, kind, reason or kind)
+            apply()
+            if revert is not None and duration is not None:
+                self._kernel._schedule_at(self._kernel.now + duration, clear)
+
+        if delay > 0:
+            self._kernel._schedule_at(self._kernel.now + delay, fire)
+        else:
+            fire()

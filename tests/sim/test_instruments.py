@@ -281,7 +281,7 @@ class TestFaultInjector:
         injector.crash_after(5.0, "svc", lambda: crashes.append(kernel.now))
         kernel.run(until=20.0)
         assert crashes == [5.0]
-        assert injector.injected == [(5.0, "svc", "scheduled")]
+        assert list(injector.injected) == [(5.0, "svc", "scheduled")]
 
     def test_poisson_crashes_respect_mtbf(self, kernel):
         crashes = []
@@ -318,3 +318,50 @@ class TestFaultInjector:
         injector.crash_after(1.0, "svc", lambda: None)
         kernel.run(until=2.0)
         assert tracer.query(component="fault-injector", kind="crash-injected")
+
+    def test_injected_ring_is_bounded(self, kernel):
+        injector = FaultInjector(kernel, injected_cap=10)
+        for i in range(25):
+            injector.crash_at(float(i), f"svc-{i}", lambda: None)
+        kernel.run(until=30.0)
+        assert len(injector.injected) == 10
+        # The ring keeps the most recent injections.
+        assert list(injector.injected)[0] == (15.0, "svc-15", "scheduled")
+        assert list(injector.injected)[-1] == (24.0, "svc-24", "scheduled")
+
+    def test_injection_counter_metric(self, kernel):
+        registry = MetricsRegistry()
+        injector = FaultInjector(kernel, metrics=registry)
+        injector.crash_after(1.0, "svc", lambda: None)
+        injector.inject_gray("ep", "slow", apply=lambda: None)
+        kernel.run(until=2.0)
+        family = registry.get("fault_injected_total")
+        assert family.labels(target="svc", kind="crash").value == 1
+        assert family.labels(target="ep", kind="slow").value == 1
+
+    def test_inject_gray_applies_and_reverts(self, kernel):
+        state = {"degraded": False}
+        injector = FaultInjector(kernel)
+
+        def apply():
+            state["degraded"] = True
+
+        def revert():
+            state["degraded"] = False
+
+        injector.inject_gray("ep", "slow", apply=apply, revert=revert,
+                             duration=5.0, delay=2.0)
+        kernel.run(until=1.0)
+        assert not state["degraded"]  # delay not yet elapsed
+        kernel.run(until=3.0)
+        assert state["degraded"]
+        kernel.run(until=8.0)
+        assert not state["degraded"]  # reverted at t=7
+        assert list(injector.injected) == [(2.0, "ep", "slow")]
+
+    def test_inject_gray_validates_arguments(self, kernel):
+        injector = FaultInjector(kernel)
+        with pytest.raises(ValueError):
+            injector.inject_gray("ep", "slow", apply=lambda: None, duration=0)
+        with pytest.raises(ValueError):
+            injector.inject_gray("ep", "slow", apply=lambda: None, delay=-1)
