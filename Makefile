@@ -1,4 +1,4 @@
-.PHONY: check test lint bench perf perf-sharded perf-serving perf-gray profile
+.PHONY: check test lint bench perf perf-sharded perf-serving perf-gray perf-audit audit profile
 
 check:
 	scripts/check.sh
@@ -23,6 +23,12 @@ perf-serving:
 
 perf-gray:
 	PYTHONPATH=src python benchmarks/bench_gray_failures.py
+
+perf-audit:
+	PYTHONPATH=src python benchmarks/bench_consistency.py
+
+audit:
+	PYTHONPATH=src python scripts/audit_report.py
 
 profile:
 	PYTHONPATH=src python scripts/profile.py

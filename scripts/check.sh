@@ -36,3 +36,6 @@ PYTHONPATH=src python benchmarks/bench_serving.py --check
 
 echo "== gray-failure smoke gate =="
 PYTHONPATH=src python benchmarks/bench_gray_failures.py --check
+
+echo "== consistency smoke gate =="
+PYTHONPATH=src python benchmarks/bench_consistency.py --check

@@ -1,0 +1,26 @@
+"""Consistency audit: flight recorder + linearizability checking.
+
+``repro.audit`` turns "we implement Raft, so the paper's etcd-backed
+claims are exercised" into a *verified* property: the raftkv client
+records a Jepsen-style operation history
+(:class:`~repro.audit.history.HistoryRecorder`), a Wing&Gong checker
+decides per-key linearizability
+(:mod:`repro.audit.checker`), and a periodic auditor publishes the
+verdict as monitoring signal
+(:class:`~repro.audit.auditor.ConsistencyAuditor`). The nemesis soak
+and seeded-bug scenarios live in :mod:`repro.audit.nemesis` (imported
+directly by tests and benches — not re-exported here, to keep this
+package importable from the monitoring stack without a cycle through
+``repro.core``).
+"""
+
+from .auditor import ConsistencyAuditor
+from .checker import (CheckBudgetExceeded, CheckResult, KeyOutcome,
+                      check_history, check_operations, render_witness)
+from .history import HistoryRecorder, OpRecord
+
+__all__ = [
+    "CheckBudgetExceeded", "CheckResult", "ConsistencyAuditor",
+    "HistoryRecorder", "KeyOutcome", "OpRecord", "check_history",
+    "check_operations", "render_witness",
+]

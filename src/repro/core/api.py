@@ -34,7 +34,7 @@ class ApiService:
         self.mongo = MongoClient(self.kernel, platform.network, platform.mongo,
                                  caller=address, tracer=platform.tracer)
         self.etcd = EtcdClient(self.kernel, platform.network, platform.etcd,
-                               client_id=address)
+                               client_id=address, history=platform.history)
         self.metering = Metering(self.mongo)
         self.ratelimiter = RateLimiter(self.kernel,
                                        rate=platform.config.api_rate_limit,

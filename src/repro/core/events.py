@@ -84,6 +84,8 @@ REASONS = frozenset({
     "GrayFailureSlow",
     "GrayFailurePartition",
     "GrayFailureDiskStall",
+    # Consistency audit (repro.audit)
+    "ConsistencyViolation",
     # Substrates
     "LeaderElected",
     "MongoMemberDown",

@@ -129,6 +129,10 @@ class GrayFailureInjector:
         self.platform = platform
         self.network = platform.network
         self.faults = platform.faults
+        # Stacked disk stalls: holder (member/node) -> list of active
+        # delays; the effective stall is their sum, recomputed on every
+        # apply/revert so overlapping windows unwind cleanly.
+        self._stall_layers = {}
 
     # ------------------------------------------------------------------
     # Target discovery
@@ -153,13 +157,22 @@ class GrayFailureInjector:
     # ------------------------------------------------------------------
 
     def slow_endpoint(self, address, extra_latency, duration=None):
-        """Every message to ``address`` pays ``extra_latency`` seconds."""
-        self.faults.inject_gray(
-            address, "slow",
-            apply=lambda: self.network.degrade(address,
-                                               extra_latency=extra_latency),
-            revert=lambda: self.network.restore(address),
-            duration=duration)
+        """Every message to ``address`` pays ``extra_latency`` seconds.
+
+        The revert removes exactly the impairment layer this injection
+        pushed, so overlapping injections against the same endpoint
+        stack and unwind independently (in any revert order)."""
+        layer = []
+
+        def apply():
+            layer.append(self.network.degrade(address,
+                                              extra_latency=extra_latency))
+
+        def revert():
+            self.network.restore(address, layer.pop())
+
+        self.faults.inject_gray(address, "slow", apply=apply, revert=revert,
+                                duration=duration)
         return address
 
     def oneway_partition(self, src, dst, duration=None):
@@ -173,31 +186,52 @@ class GrayFailureInjector:
         return dst
 
     def lossy_endpoint(self, address, loss=0.0, duplicate=0.0, duration=None):
-        """Probabilistically drop and/or duplicate messages to ``address``."""
-        self.faults.inject_gray(
-            address, "loss" if loss else "duplicate",
-            apply=lambda: self.network.degrade(address, loss=loss,
-                                               duplicate=duplicate),
-            revert=lambda: self.network.restore(address),
-            duration=duration)
+        """Probabilistically drop and/or duplicate messages to ``address``.
+
+        Stacks with other impairments on the endpoint; the revert
+        removes only this injection's layer."""
+        layer = []
+
+        def apply():
+            layer.append(self.network.degrade(address, loss=loss,
+                                              duplicate=duplicate))
+
+        def revert():
+            self.network.restore(address, layer.pop())
+
+        self.faults.inject_gray(address, "loss" if loss else "duplicate",
+                                apply=apply, revert=revert, duration=duration)
         return address
+
+    def _stall(self, holder, delay):
+        layers = self._stall_layers.setdefault(holder, [])
+        layers.append(delay)
+        holder.disk_stall = sum(layers)
+
+    def _unstall(self, holder, delay):
+        layers = self._stall_layers.get(holder)
+        if not layers:
+            return
+        if delay in layers:
+            layers.remove(delay)
+        holder.disk_stall = sum(layers)
+        if not layers:
+            del self._stall_layers[holder]
 
     def disk_stall_mongo(self, member_id, delay, duration=None):
         """Every write op on the member hangs ``delay`` s in "fsync".
 
         Keep ``delay`` under the replica set's 0.25 s replicate
         deadline or the stall degenerates into visible write errors.
+        Overlapping stalls on the same member add up; each revert
+        subtracts only its own delay.
         """
         member = self.platform.mongo.member(member_id)
-
-        def apply():
-            member.disk_stall = delay
-
-        def revert():
-            member.disk_stall = 0.0
-
-        self.faults.inject_gray(member_id, "disk-stall", apply=apply,
-                                revert=revert, duration=duration)
+        self.faults.inject_gray(
+            member_id, "disk-stall",
+            apply=lambda: self._stall(member, delay),
+            revert=lambda: self._unstall(member, delay),
+            duration=duration)
         return member_id
 
     def disk_stall_etcd(self, node_id, delay, duration=None):
@@ -205,16 +239,13 @@ class GrayFailureInjector:
 
         Keep ``delay`` under the Raft rpc_timeout (0.06 s default) so
         the leader's appends still succeed — slowly — instead of
-        timing out into crash-style errors.
+        timing out into crash-style errors. Overlapping stalls add up;
+        each revert subtracts only its own delay.
         """
         node = self.platform.etcd.node(node_id)
-
-        def apply():
-            node.disk_stall = delay
-
-        def revert():
-            node.disk_stall = 0.0
-
-        self.faults.inject_gray(node_id, "disk-stall", apply=apply,
-                                revert=revert, duration=duration)
+        self.faults.inject_gray(
+            node_id, "disk-stall",
+            apply=lambda: self._stall(node, delay),
+            revert=lambda: self._unstall(node, delay),
+            duration=duration)
         return node_id

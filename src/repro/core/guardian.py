@@ -98,7 +98,8 @@ class Guardian:
         self.kernel = ctx.kernel
         self.k8s = platform.k8s.api
         self.etcd = EtcdClient(self.kernel, platform.network, platform.etcd,
-                               client_id=f"guardian-{job_id}-{ctx.pod.metadata.uid}")
+                               client_id=f"guardian-{job_id}-{ctx.pod.metadata.uid}",
+                               history=platform.history)
         self.mongo = MongoClient(self.kernel, platform.network, platform.mongo,
                                  caller=f"guardian-{job_id}",
                                  tracer=platform.tracer)

@@ -88,7 +88,8 @@ def make_controller_workload(platform, job_id, manifest):
         # Agent/runtime initialization inside the helper container.
         yield kernel.sleep(platform.config.helper_init_time)
         etcd = EtcdClient(kernel, platform.network, platform.etcd,
-                          client_id=f"controller-{job_id}-{ctx.pod.metadata.uid}")
+                          client_id=f"controller-{job_id}-{ctx.pod.metadata.uid}",
+                          history=platform.history)
         platform.tracer.emit("controller", "component-ready", job=job_id)
         span = platform.tracer.start_span(
             "controller.run", component="controller",

@@ -31,7 +31,7 @@ class LcmService:
         self.mongo = MongoClient(self.kernel, platform.network, platform.mongo,
                                  caller=address, tracer=platform.tracer)
         self.etcd = EtcdClient(self.kernel, platform.network, platform.etcd,
-                               client_id=address)
+                               client_id=address, history=platform.history)
         self.server = Server(self.kernel, platform.network, address)
         self.server.add_method("deploy_job", self._on_deploy_job)
         self.server.add_method("kill_job", self._on_kill_job)

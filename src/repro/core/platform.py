@@ -127,6 +127,14 @@ class PlatformConfig:
     gray_min_count: int = 4  # min calls in window to score an endpoint
     gray_divergence_threshold: float = 3.0  # robust z-score that alerts
     gray_alert_for: float = 1.0  # GrayFailure* hold before firing
+    # Consistency audit (repro.audit): record every raftkv client
+    # operation in a flight recorder and check the per-key histories
+    # for linearizability with a periodic in-sim auditor. Recording is
+    # direct appends (no RPCs, no RNG), so the simulated timeline is
+    # bit-identical with it on or off (gated by bench_consistency.py).
+    history_recording: bool = False
+    audit_interval: float = 5.0  # seconds between auditor passes
+    audit_max_configs: int = 200_000  # checker search budget per key
 
     # Simulator fast path. On: cancellable timers with lazy heap
     # deletion, indexed docstore queries, and copy-elided reads behind
@@ -208,6 +216,14 @@ class DlaasPlatform:
         self.events = EventRecorder(self.kernel, metrics=self.metrics)
         self.faults = FaultInjector(self.kernel, tracer=self.tracer,
                                     metrics=self.metrics, events=self.events)
+        # Flight recorder for raftkv client histories; components pass
+        # it to their EtcdClient so every KV op lands in one audit log.
+        if self.config.history_recording:
+            from ..audit import HistoryRecorder
+
+            self.history = HistoryRecorder(self.kernel)
+        else:
+            self.history = None
         self.network = Network(
             self.kernel,
             latency=LatencyModel(self.config.network_latency,

@@ -175,11 +175,16 @@ class Network:
         self.debug_freeze = debug_freeze
         self._servers = {}
         self._partitions = set()
-        # Gray faults: (src, dst) directions blocked one-way, and
-        # per-endpoint impairments (added latency / loss / duplication).
-        # The impairment RNG is a dedicated stream created lazily on
-        # the first degrade() so healthy runs draw nothing from it.
-        self._oneway = set()
+        # Gray faults: (src, dst) directions blocked one-way (a count
+        # per direction so overlapping injections stack and revert
+        # independently), and per-endpoint impairments (added latency /
+        # loss / duplication). Impairments are kept as a *stack* of
+        # layers per endpoint; ``_impaired`` holds the composed hot-path
+        # view consulted on every call. The impairment RNG is a
+        # dedicated stream created lazily on the first degrade() so
+        # healthy runs draw nothing from it.
+        self._oneway = {}
+        self._impairment_layers = {}
         self._impaired = {}
         self._gray_rng = None
         self._rng = kernel.rng("network")
@@ -240,7 +245,26 @@ class Network:
         self._servers[address] = server
 
     def unregister(self, address):
+        """Drop the endpoint and prune its per-endpoint metric
+        children, bounding label cardinality: without pruning a
+        long-running platform churning pods accumulates one child per
+        address forever, every one walked by every scrape. A restarted
+        endpoint re-registers and its children recreate at zero — a
+        counter reset, which the windowed consumers
+        (:func:`repro.sim.timeseries.counter_increase`) tolerate."""
         self._servers.pop(address, None)
+        if self._m_endpoint_calls is None:
+            return
+        for key in [k for k in self._endpoint_children if k[0] == address]:
+            del self._endpoint_children[key]
+            self._m_endpoint_calls.remove(endpoint=key[0], method=key[1],
+                                          code=key[2])
+        for key in [k for k in self._endpoint_latency_children
+                    if k[0] == address]:
+            del self._endpoint_latency_children[key]
+            self._m_endpoint_latency.remove(endpoint=key[0], method=key[1])
+        if self._handled_children.pop(address, None) is not None:
+            self._m_handled.remove(endpoint=address)
 
     def lookup(self, address):
         return self._servers.get(address)
@@ -355,11 +379,21 @@ class Network:
         partition): ``src``'s requests to ``dst`` vanish, and so do
         ``dst``'s *responses* back to ``src`` — but ``dst`` can still
         initiate calls to ``src``. The classic gray failure: both ends
-        look alive to a symmetric health check."""
-        self._oneway.add((src, dst))
+        look alive to a symmetric health check.
+
+        Calls stack: two overlapping injections of the same direction
+        need two ``heal_oneway`` calls (or one ``heal_all``) before
+        traffic flows again."""
+        self._oneway[(src, dst)] = self._oneway.get((src, dst), 0) + 1
 
     def heal_oneway(self, src, dst):
-        self._oneway.discard((src, dst))
+        count = self._oneway.get((src, dst))
+        if count is None:
+            return
+        if count <= 1:
+            del self._oneway[(src, dst)]
+        else:
+            self._oneway[(src, dst)] = count - 1
 
     def _blocked(self, src, dst):
         """Is the ``src -> dst`` direction unreachable?"""
@@ -376,16 +410,48 @@ class Network:
         probability ``loss``, and is delivered twice with probability
         ``duplicate`` (the server runs the handler again; the second
         response is discarded in flight). The server itself stays
-        registered and serving — health probes keep passing."""
-        impairment = EndpointImpairment(extra_latency, loss, duplicate)
+        registered and serving — health probes keep passing.
+
+        Each call pushes one impairment *layer*; overlapping
+        injections compose (latencies add, loss/duplication combine as
+        independent events) and revert independently. Returns the
+        layer — pass it to :meth:`restore` to remove exactly it."""
+        layer = EndpointImpairment(extra_latency, loss, duplicate)
         if (loss or duplicate) and self._gray_rng is None:
             self._gray_rng = self.kernel.rng("grayfaults")
-        self._impaired[address] = impairment
-        return impairment
+        self._impairment_layers.setdefault(address, []).append(layer)
+        self._recompose(address)
+        return layer
 
-    def restore(self, address):
-        """Clear any impairment on ``address``."""
-        self._impaired.pop(address, None)
+    def restore(self, address, layer=None):
+        """Remove one impairment ``layer`` from ``address`` (or every
+        layer when ``layer`` is None). Tolerant of a layer already
+        removed, so revert paths can run in any order."""
+        layers = self._impairment_layers.get(address)
+        if layers is None:
+            return
+        if layer is None:
+            layers.clear()
+        elif layer in layers:
+            layers.remove(layer)
+        self._recompose(address)
+
+    def _recompose(self, address):
+        """Rebuild the composed hot-path impairment from the stack."""
+        layers = self._impairment_layers.get(address)
+        if not layers:
+            self._impairment_layers.pop(address, None)
+            self._impaired.pop(address, None)
+            return
+        keep = 1.0
+        arrive_once = 1.0
+        extra = 0.0
+        for layer in layers:
+            extra += layer.extra_latency
+            keep *= 1.0 - layer.loss
+            arrive_once *= 1.0 - layer.duplicate
+        self._impaired[address] = EndpointImpairment(
+            extra, 1.0 - keep, 1.0 - arrive_once)
 
     def impairment(self, address):
         return self._impaired.get(address)

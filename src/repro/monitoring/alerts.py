@@ -26,6 +26,8 @@ Evaluation reads only in-memory series — no RPCs — so the engine
 cannot perturb the simulated job timeline.
 """
 
+from ..sim.timeseries import counter_increase
+
 PENDING = "pending"
 FIRING = "firing"
 RESOLVED = "resolved"
@@ -93,7 +95,7 @@ class Increase(_Expr):
         for series in store.series(self.name, **self.match):
             points = series.window(now - self.window, now)
             if len(points) >= 2:
-                out[series.labels] = points[-1][1] - points[0][1]
+                out[series.labels] = counter_increase(points)
         return out
 
     def __repr__(self):
@@ -310,7 +312,8 @@ class AlertEngine:
     def _involved(self, rule, labels):
         labels = dict(labels)
         for key, kind in (("component", "Component"), ("model", "Model"),
-                          ("batch", "BatchInfer"), ("name", "Component")):
+                          ("batch", "BatchInfer"), ("key", "EtcdKey"),
+                          ("name", "Component")):
             if labels.get(key):
                 return kind, labels[key]
         return "Component", rule.name
@@ -429,6 +432,18 @@ def default_rule_pack(config):
             description="an endpoint's write/replication latency diverges "
                         "from its role peers (stalling disk under a "
                         "member that still answers reads)"))
+    if getattr(config, "history_recording", False):
+        # The consistency auditor latches one counter bump per
+        # non-linearizable key; any bump at all is a platform-integrity
+        # incident, so the rule fires immediately and never resolves
+        # until restart (latched counters only move up).
+        rules.append(AlertRule(
+            "ConsistencyViolation",
+            Metric("consistency_violations_total") > 0,
+            for_=0.0, severity="critical",
+            description="the linearizability checker found a key whose "
+                        "recorded client history admits no legal "
+                        "serialization (stale read / lost write)"))
     if getattr(config, "serving", False):
         rules.append(AlertRule(
             "ServingDown",

@@ -74,6 +74,26 @@ def render_dashboard(platform, width=40, events_tail=10):
         if quiet:
             lines.append(f"  ({quiet} series within peer baseline)")
 
+    auditor = getattr(stack, "auditor", None)
+    if auditor is not None:
+        lines.append("")
+        lines.append("-- consistency audit (linearizability checker) --")
+        checked = store.series("consistency_ops_checked_total")
+        for series in checked:
+            values = series.values()
+            latest = values[-1] if values else 0.0
+            lines.append(f"  {'ops checked':<26} {latest:>8g} "
+                         f"[{sparkline(values, width)}]")
+        if not checked:
+            lines.append(f"  ops checked {auditor.ops_checked} "
+                         f"over {auditor.passes} passes (not yet scraped)")
+        violations = store.series("consistency_violations_total")
+        for series in violations:
+            key = series.labels_dict.get("key", "?")
+            lines.append(f"  VIOLATION {key}")
+        if not violations:
+            lines.append("  (no violations)")
+
     lines.append("")
     lines.append("-- alerts --")
     active = sorted(stack.engine.active.values(),

@@ -40,6 +40,8 @@ draws, no scheduled events — with detection enabled and no gray fault
 injected the simulated timeline is bit-identical.
 """
 
+from ..sim.timeseries import counter_increase
+
 # Methods that are disk writes on the serving member: a stalled disk
 # shows up here first, while the member's read path stays competitive.
 WRITE_METHODS = frozenset({
@@ -83,7 +85,7 @@ def _counter_delta(series, start, end):
     points = series.window(start, end)
     if len(points) < 2:
         return None
-    return points[-1][1] - points[0][1]
+    return counter_increase(points)
 
 
 class DifferentialDetector:

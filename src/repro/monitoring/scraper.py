@@ -48,8 +48,13 @@ class MetricsScraper:
 
     QUANTILES = (("p50", 50), ("p95", 95), ("p99", 99))
 
+    # One registry-vs-plan-cache sweep per this many scrapes: plans of
+    # pruned metric children are dead weight, but walking the registry
+    # to find them is not free, so do it rarely.
+    PLAN_GC_EVERY = 64
+
     def __init__(self, kernel, store, interval=1.0, registry=None,
-                 health=None):
+                 health=None, prune_after=None):
         if interval <= 0:
             raise ValueError("scrape interval must be positive")
         self.kernel = kernel
@@ -57,10 +62,16 @@ class MetricsScraper:
         self.interval = interval
         self.registry = registry
         self.health = health
+        # A series stale this long is dropped from the store entirely
+        # (its source endpoint is gone for good, not rebooting).
+        self.prune_after = prune_after if prune_after is not None \
+            else store.retention
+        self.series_pruned = 0
         self.running = False
         self.scrape_count = 0
         self._proc = None
         self._last_keys = set()
+        self._stale_since = {}  # (name, labels) -> time marked stale
         self._plans = {}  # (family name, labelvalues) -> emit plan
         self._quantile_cache = {}  # plan key -> (count, [q values])
         self._up_handles = {}  # component -> _SeriesHandle
@@ -164,13 +175,76 @@ class MetricsScraper:
                         "up", {"component": component})
                 self._emit(handle, now, up, seen)
 
-        for name, labels in self._last_keys - seen:
-            self.store.mark_stale(name, labels, now)
+        for key in self._last_keys - seen:
+            self.store.mark_stale(key[0], key[1], now)
+            self._stale_since.setdefault(key, now)
         self._last_keys = seen
+        self._prune_stale(now, seen)
         self.scrape_count += 1
+        if self.registry is not None \
+                and self.scrape_count % self.PLAN_GC_EVERY == 0:
+            self._gc_plans()
         if self._m_scrapes is not None:
             self._m_scrapes.inc()
             self._m_series.set(len(self.store))
+
+    def _prune_stale(self, now, seen):
+        """Forget series whose source stayed gone past ``prune_after``.
+
+        A staleness marker already hides a vanished series from rule
+        evaluation; this goes further and reclaims the series (and the
+        tracking entry) once it is clear the label set is not coming
+        back, so endpoint churn cannot grow the store without bound. A
+        source that *does* come back before the deadline simply drops
+        its tracking entry and keeps its history."""
+        stale = self._stale_since
+        if not stale:
+            return
+        for key in [k for k in stale if k in seen]:
+            del stale[key]
+        cutoff = now - self.prune_after
+        pruned = set()
+        for key in [k for k, since in stale.items() if since <= cutoff]:
+            del stale[key]
+            if self.store.remove(key[0], key[1]):
+                self.series_pruned += 1
+                pruned.add(key)
+        if pruned:
+            # A cached handle still pointing at a pruned series would
+            # write into an orphaned ring buffer if the source came
+            # back much later; drop the resolution so the next emission
+            # re-creates the series in the store.
+            self._invalidate_handles(pruned)
+
+    def _invalidate_handles(self, pruned):
+        def invalidate(handle):
+            if handle.key in pruned:
+                handle.series = None
+
+        for plan in self._plans.values():
+            if isinstance(plan, _SeriesHandle):
+                invalidate(plan)
+            else:
+                count_handle, sum_handle, quantile_plan = plan
+                invalidate(count_handle)
+                invalidate(sum_handle)
+                for _q, handle in quantile_plan:
+                    invalidate(handle)
+        for handle in self._up_handles.values():
+            invalidate(handle)
+
+    def _gc_plans(self):
+        """Drop emission plans for metric children that no longer
+        exist (pruned via ``_Family.remove``); their series went stale
+        and will be pruned by ``_prune_stale`` independently."""
+        live = set()
+        for name in self.registry.names():
+            metric = self.registry.get(name)
+            for labelvalues, _child in metric.children():
+                live.add((name, labelvalues))
+        for plan_key in [k for k in self._plans if k not in live]:
+            del self._plans[plan_key]
+            self._quantile_cache.pop(plan_key, None)
 
     def _collect_registry(self, now, seen):
         plans = self._plans

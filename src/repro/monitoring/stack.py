@@ -94,6 +94,20 @@ class MonitoringStack:
             self.detector = None
         for rule in default_rule_pack(config):
             self.engine.add_rule(rule)
+        # Consistency audit: periodic linearizability checking of the
+        # flight-recorded raftkv client history. Pure in-memory reads of
+        # the recorder plus counter bumps — same non-perturbation
+        # argument as the scraper.
+        if getattr(platform, "history", None) is not None:
+            from ..audit import ConsistencyAuditor
+
+            self.auditor = ConsistencyAuditor(
+                platform.kernel, platform.history,
+                metrics=platform.metrics,
+                interval=config.audit_interval,
+                max_configs=config.audit_max_configs)
+        else:
+            self.auditor = None
         self.flusher = EventFlusher(
             platform.kernel, platform.events, platform.mongo,
             interval=config.event_flush_interval)
@@ -101,11 +115,15 @@ class MonitoringStack:
     def start(self):
         self.scraper.start()
         self.engine.start()
+        if self.auditor is not None:
+            self.auditor.start()
         self.flusher.start()
         return self
 
     def stop(self):
         self.scraper.stop()
         self.engine.stop()
+        if self.auditor is not None:
+            self.auditor.stop()
         self.flusher.stop()
         return self

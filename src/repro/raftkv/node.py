@@ -78,8 +78,15 @@ class RaftNode:
                 "raft_applied_entries_total", ("node",),
                 help="Log entries applied to the state machine"
             ).labels(node=node_id)
+            self._m_dup_applies = metrics.counter(
+                "raft_duplicate_applies_total", ("node",),
+                help="Committed commands deduplicated by the session "
+                     "table: a retried client op that reached the log "
+                     "twice"
+            ).labels(node=node_id)
         else:
             self._m_elections = self._m_commit_dur = self._m_applied = None
+            self._m_dup_applies = None
         # Compact the log once this many entries have been applied
         # beyond the last snapshot; 0 disables compaction.
         self.snapshot_threshold = snapshot_threshold
@@ -104,6 +111,19 @@ class RaftNode:
         self._waiters = {}  # log index -> (term, event)
         self._pokes = {}  # peer -> event, to wake the replicator early
         self._last_heartbeat = 0.0
+        # Check-quorum lease: when each peer last acknowledged this
+        # node's leadership (send time of the acked RPC, which is the
+        # conservative anchor). Reads are served only while a majority
+        # acked within election_min — a deposed leader cut off from its
+        # peers steps out of the read path before any replacement can
+        # be elected, closing the stale-read window.
+        self._peer_acks = {}
+        # Test-only seeded bug: serve leader-local reads without the
+        # check-quorum lease (the pre-audit behaviour). A partitioned
+        # deposed leader then answers from stale state — exists so the
+        # linearizability checker has a real violation to catch; never
+        # set by production code paths.
+        self.stale_reads = False
         self._procs = set()
         # Gray fault: seconds every log-carrying append hangs in the
         # simulated disk before being applied. Pure heartbeats (no
@@ -202,6 +222,12 @@ class RaftNode:
         self.leader_id = self.node_id
         self._next_index = {p: self.log.last_index + 1 for p in self.peer_ids}
         self._match_index = {p: 0 for p in self.peer_ids}
+        # Seed the lease from the vote grants that just elected us: each
+        # voter reset its election timer when granting, so "heard from a
+        # majority within election_min" holds at this instant — the
+        # lease never lapses on a healthy cluster and the read path is
+        # timeline-identical to the pre-lease behaviour.
+        self._peer_acks = {p: self.kernel.now for p in self.peer_ids}
         self._trace("elected", term=self.current_term)
         if self._m_elections is not None:
             self._m_elections.inc()
@@ -346,16 +372,36 @@ class RaftNode:
                 self.kernel.now - proposed)
         return result
 
-    def _on_read(self, request):
-        """Leader-local read.
+    def _read_lease_valid(self):
+        """Check-quorum leader lease.
 
-        Linearizable under the standard leader-lease assumption (the
-        election timeout bounds how long a deposed leader can serve
-        stale reads); the client layer additionally verifies leadership
-        before trusting the response.
+        True when a majority of the cluster (this node plus peers that
+        acked an RPC *sent* within the last election_min) still
+        accepted this node's leadership recently enough that no
+        replacement can have been elected: a peer that acked at time t
+        reset its election timer no earlier than t, so it cannot grant
+        a vote before t + election_min. The simulation has one global
+        clock, so unlike real deployments the lease argument here is
+        exact, not an assumption about bounded clock drift.
+        """
+        if not self.peer_ids:
+            return True
+        horizon = self.kernel.now - self.timings.election_min
+        fresh = 1 + sum(1 for t in self._peer_acks.values() if t > horizon)
+        return fresh >= (len(self.peer_ids) + 1) // 2 + 1
+
+    def _on_read(self, request):
+        """Leader-local linearizable read.
+
+        Served from the leader's applied state, guarded by the
+        check-quorum lease above; a leader that cannot prove recent
+        majority contact redirects the client (no hint — it genuinely
+        does not know who leads now) rather than risk a stale read.
         """
         if not self.is_leader:
             raise NotLeader(self.node_id, self.leader_id)
+        if not (self.stale_reads or self._read_lease_valid()):
+            raise NotLeader(self.node_id, None)
         key = request["key"]
         value, revision = self.state_machine.get_with_revision(key)
         return {"value": value, "revision": revision, "found": revision != 0}
@@ -363,6 +409,8 @@ class RaftNode:
     def _on_range(self, request):
         if not self.is_leader:
             raise NotLeader(self.node_id, self.leader_id)
+        if not (self.stale_reads or self._read_lease_valid()):
+            raise NotLeader(self.node_id, None)
         return {"kvs": self.state_machine.range(request["prefix"])}
 
     def _on_status(self, _request):
@@ -404,6 +452,7 @@ class RaftNode:
                 entries=entries,
                 leader_commit=self.commit_index,
             )
+            sent = self.kernel.now
             try:
                 reply = yield self.network.call(
                     peer, "append_entries", request,
@@ -417,6 +466,7 @@ class RaftNode:
             if reply.term > self.current_term:
                 self._become_follower(reply.term)
                 return
+            self._peer_acks[peer] = sent  # lease: majority-contact proof
             if reply.success:
                 if reply.match_index > self._match_index[peer]:
                     self._match_index[peer] = reply.match_index
@@ -447,6 +497,7 @@ class RaftNode:
             last_included_term=self.snapshot["term"],
             data=self.snapshot["state"],
         )
+        sent = self.kernel.now
         try:
             reply = yield self.network.call(
                 peer, "install_snapshot", request,
@@ -461,6 +512,7 @@ class RaftNode:
         if reply.term > self.current_term:
             self._become_follower(reply.term)
             return False
+        self._peer_acks[peer] = sent  # lease: majority-contact proof
         self._match_index[peer] = max(self._match_index[peer],
                                       reply.last_included_index)
         self._next_index[peer] = reply.last_included_index + 1
@@ -484,9 +536,12 @@ class RaftNode:
         while self.last_applied < self.commit_index:
             self.last_applied += 1
             entry = self.log.entry_at(self.last_applied)
+            duplicates_before = self.state_machine.duplicate_applies
             result = self.state_machine.apply(entry.command)
             if self._m_applied is not None:
                 self._m_applied.inc()
+                if self.state_machine.duplicate_applies != duplicates_before:
+                    self._m_dup_applies.inc()
             waiter = self._waiters.pop(self.last_applied, None)
             if waiter is not None:
                 term, event = waiter

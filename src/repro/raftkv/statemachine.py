@@ -39,6 +39,10 @@ class KvStateMachine:
         self.key_revisions = {}
         # client_id -> (seq, cached result): exactly-once under retries.
         self.sessions = {}
+        # Commands the session table swallowed: a retried client op that
+        # reached the log twice. Volatile (not snapshotted) — it counts
+        # this replica's dedup work, not replicated state.
+        self.duplicate_applies = 0
         # lease_id -> {"ttl": float, "expires_at": float, "keys": set}
         self.leases = {}
         self.watch_hub = watch_hub
@@ -52,6 +56,7 @@ class KvStateMachine:
         if client_id is not None and seq is not None:
             cached = self.sessions.get(client_id)
             if cached is not None and cached[0] >= seq:
+                self.duplicate_applies += 1
                 return cached[1]
         result = self._dispatch(command)
         if client_id is not None and seq is not None:

@@ -69,6 +69,28 @@ class _Family:
             self._sorted_children = None
         return child
 
+    def remove(self, **labelvalues):
+        """Drop the child for one label combination.
+
+        Cardinality pruning: when a label set's source disappears for
+        good (an endpoint unregistered, a pod torn down) its child
+        would otherwise be walked by every scrape forever. A later
+        ``labels()`` call with the same values recreates the child at
+        zero — downstream consumers must treat that as a counter reset.
+        Removing an absent child is a no-op."""
+        names = self.labelnames
+        try:
+            key = tuple([str(labelvalues[label]) for label in names])
+        except KeyError:
+            key = None
+        if key is None or len(labelvalues) != len(names):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {self.labelnames}, "
+                f"got {tuple(sorted(labelvalues))}"
+            )
+        if self._children.pop(key, None) is not None:
+            self._sorted_children = None
+
     def _default(self):
         if self.labelnames:
             raise ValueError(

@@ -86,6 +86,22 @@ class TimeSeries:
         return f"<TimeSeries {self.name}{labels} n={len(self.samples)}>"
 
 
+def counter_increase(points):
+    """Prometheus-style ``increase()`` over ``(time, value)`` samples.
+
+    Sums positive deltas so a counter reset — a child pruned when its
+    endpoint went away and recreated at zero after a restart — counts
+    from zero instead of producing a huge negative delta. Identical to
+    ``last - first`` for a monotone series.
+    """
+    total = 0.0
+    prev = points[0][1]
+    for _t, value in points[1:]:
+        total += value - prev if value >= prev else value
+        prev = value
+    return total
+
+
 def canonical_labels(labels):
     """Normalize a labels dict/iterable into a sorted tuple of pairs."""
     if isinstance(labels, dict):
@@ -109,8 +125,8 @@ class TimeSeriesStore:
         self._series = {}
         # name -> sorted [(labels, series)] cache: series() is on the
         # alert engine's per-tick path, and without the index every rule
-        # evaluation re-sorted the whole store. Series creation is
-        # append-only, so the per-name cache only invalidates then.
+        # evaluation re-sorted the whole store. The cache invalidates
+        # only on series creation and removal.
         self._by_name = {}
         self._sorted_by_name = {}
         self._overrides = {}  # name -> (retention, max_samples)
@@ -142,6 +158,21 @@ class TimeSeriesStore:
         series = self._series.get((name, canonical_labels(labels)))
         if series is not None:
             series.mark_stale(time)
+
+    def remove(self, name, labels=()):
+        """Drop one series (scraper cardinality pruning of series whose
+        source went away and stayed away past retention). Returns
+        whether the series existed."""
+        key = (name, canonical_labels(labels))
+        if self._series.pop(key, None) is None:
+            return False
+        group = self._by_name.get(name)
+        if group is not None:
+            group.pop(key[1], None)
+            if not group:
+                del self._by_name[name]
+        self._sorted_by_name.pop(name, None)
+        return True
 
     def get(self, name, labels=()):
         return self._series.get((name, canonical_labels(labels)))

@@ -1,0 +1,128 @@
+"""Unit tests for the client-history flight recorder."""
+
+import pytest
+
+from repro.audit import HistoryRecorder
+
+
+class FakeKernel:
+    """The recorder only reads ``kernel.now``."""
+
+    def __init__(self):
+        self.now = 0.0
+
+
+@pytest.fixture
+def kernel():
+    return FakeKernel()
+
+
+@pytest.fixture
+def history(kernel):
+    return HistoryRecorder(kernel)
+
+
+class TestRecording:
+    def test_invoke_is_pending(self, history):
+        record = history.invoke("c1", "put", "/k", "v1")
+        assert record.pending
+        assert record.status == "invoke"
+        assert record.result is None
+        assert record.response_time is None
+        assert record.response_seq is None
+        assert len(history) == 1
+
+    def test_complete_sets_result_and_response_edge(self, kernel, history):
+        record = history.invoke("c1", "get", "/k", None)
+        kernel.now = 1.5
+        history.complete(record, "v1")
+        assert record.status == "ok"
+        assert record.result == "v1"
+        assert record.response_time == 1.5
+        assert record.response_seq > record.invoke_seq
+        assert not record.pending
+
+    def test_fail_and_info_record_error_repr(self, history):
+        failed = history.invoke("c1", "put", "/k", "v")
+        history.fail(failed, error=TimeoutError("deadline"))
+        assert failed.status == "fail"
+        assert "deadline" in failed.error
+
+        unknown = history.invoke("c1", "put", "/k", "v")
+        history.info(unknown)
+        assert unknown.status == "info"
+        assert unknown.error is None
+
+    def test_double_finish_raises(self, history):
+        record = history.invoke("c1", "put", "/k", "v")
+        history.complete(record, {"ok": True})
+        with pytest.raises(RuntimeError):
+            history.fail(record)
+        with pytest.raises(RuntimeError):
+            history.complete(record, {"ok": True})
+
+    def test_sequence_numbers_are_strictly_increasing(self, history):
+        a = history.invoke("c1", "put", "/k", "v1")
+        b = history.invoke("c2", "put", "/k", "v2")
+        history.complete(a, {"ok": True})
+        history.complete(b, {"ok": True})
+        seqs = [a.invoke_seq, b.invoke_seq, a.response_seq, b.response_seq]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)
+
+    def test_op_id_tag_carried(self, history):
+        record = history.invoke("c1", "put", "/k", "v", op_id=7)
+        assert record.op_id == 7
+        assert record.to_doc()["op_id"] == 7
+
+    def test_to_doc_round_trips_the_record(self, kernel, history):
+        record = history.invoke("c1", "cas", "/k", ("a", "b"), op_id=3)
+        kernel.now = 2.0
+        record.attempts = 2
+        history.complete(record, {"ok": True})
+        doc = record.to_doc()
+        assert doc == {
+            "client": "c1", "op": "cas", "key": "/k", "args": ("a", "b"),
+            "op_id": 3, "status": "ok", "result": {"ok": True},
+            "error": None, "invoke_time": 0.0,
+            "invoke_seq": record.invoke_seq, "response_time": 2.0,
+            "response_seq": record.response_seq, "attempts": 2,
+        }
+
+
+class TestQueries:
+    def test_per_key_index_preserves_order(self, history):
+        a = history.invoke("c1", "put", "/a", "1")
+        b = history.invoke("c1", "put", "/b", "1")
+        c = history.invoke("c2", "get", "/a", None)
+        assert list(history.keys()) == ["/a", "/b"]
+        assert history.ops_for_key("/a") == [a, c]
+        assert history.ops_for_key("/b") == [b]
+        assert history.ops_for_key("/missing") == ()
+
+    def test_counts_by_status(self, history):
+        ok = history.invoke("c", "put", "/k", "v")
+        history.complete(ok, {"ok": True})
+        bad = history.invoke("c", "put", "/k", "v")
+        history.fail(bad)
+        maybe = history.invoke("c", "put", "/k", "v")
+        history.info(maybe)
+        history.invoke("c", "get", "/k", None)
+        assert history.counts() == {"ok": 1, "fail": 1, "info": 1,
+                                    "invoke": 1}
+
+
+class TestModelScope:
+    def test_leased_keys_are_unauditable(self, history):
+        assert history.auditable("/jobs/j1")
+        history.mark_leased("/jobs/j1")
+        assert not history.auditable("/jobs/j1")
+        assert history.auditable("/jobs/j2")
+
+    def test_deleted_prefixes_are_unauditable(self, history):
+        history.mark_prefix("/watch/")
+        history.mark_prefix("/watch/")  # idempotent
+        assert not history.auditable("/watch/a")
+        assert not history.auditable("/watch/b/c")
+        assert history.auditable("/watched")  # not under the prefix
+        assert history._unmodeled_prefixes == ["/watch/"]
