@@ -31,6 +31,9 @@ PYTHONPATH=src python -m pytest -q "$@"
 echo "== perf smoke gate =="
 PYTHONPATH=src python benchmarks/bench_perf.py --check
 
+echo "== scale smoke gate =="
+PYTHONPATH=src python benchmarks/bench_scalability.py --check
+
 echo "== serving smoke gate =="
 PYTHONPATH=src python benchmarks/bench_serving.py --check
 

@@ -28,6 +28,7 @@ from .figures import (
     guardian_creation_rows,
 )
 from .platform_runner import bench_manifest, build_platform, measure_dlaas
+from .scale_runner import partition_overrides, run_scale_scenario
 from .reporting import render_table, shape_check
 from .sharded_runner import (
     bench_cell_driver,
@@ -56,7 +57,9 @@ __all__ = [
     "measure_dgx1",
     "measure_direct",
     "measure_dlaas",
+    "partition_overrides",
     "render_table",
+    "run_scale_scenario",
     "run_sharded_scenario",
     "scheduler_rows",
     "shape_check",

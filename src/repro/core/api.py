@@ -12,12 +12,12 @@ This ensures that submitted jobs are never lost." The LCM notify after
 the store is best-effort; the LCM's reconcile loop covers its loss.
 """
 
-from ..docstore import MongoClient
 from ..grpcnet import Client, Server
 from ..grpcnet.errors import RpcError
 from ..raftkv import EtcdClient
 from ..sim.tracing import extract_context
 from . import layout
+from .admission import AdmissionController
 from .auth import Metering, RateLimiter
 from .errors import JobNotFound, ModelNotFound, ServingDisabled
 from .manifest import TrainingManifest
@@ -31,14 +31,14 @@ class ApiService:
         self.platform = platform
         self.kernel = platform.kernel
         self.address = address
-        self.mongo = MongoClient(self.kernel, platform.network, platform.mongo,
-                                 caller=address, tracer=platform.tracer)
+        self.mongo = platform.mongo_client(address, tracer=platform.tracer)
         self.etcd = EtcdClient(self.kernel, platform.network, platform.etcd,
                                client_id=address, history=platform.history)
         self.metering = Metering(self.mongo)
         self.ratelimiter = RateLimiter(self.kernel,
                                        rate=platform.config.api_rate_limit,
                                        burst=platform.config.api_rate_burst)
+        self.admission = AdmissionController(self)
         self.lcm = Client(self.kernel, platform.network, platform.lcm_balancer,
                           caller=address, retries=1, retry_backoff=0.2)
         if platform.serving_balancer is not None:
@@ -63,7 +63,7 @@ class ApiService:
 
     def _authenticate(self, request, method):
         tenant = self.platform.tokens.authenticate(request.get("token"))
-        self.ratelimiter.check(tenant)
+        self.admission.check_call(tenant, method)
         yield from self.metering.record_api_call(tenant, method)
         return tenant
 
@@ -81,24 +81,34 @@ class ApiService:
             tenant = yield from self._authenticate(request, "submit")
             manifest = TrainingManifest.from_dict(request.get("manifest"))
 
-            seq = yield from self._next_sequence()
-            job_id = f"job-{seq:05d}"
-            span.set_attribute("job", job_id)
-            self.platform.tracer.bind(("job", job_id), span.context)
-            document = {
-                "job_id": job_id,
-                "tenant": tenant,
-                "name": manifest.name,
-                "manifest": manifest.to_dict(),
-                "status": QUEUED,
-                "status_history": [{"status": QUEUED, "time": self.kernel.now}],
-                "created_at": self.kernel.now,
-                "completed_at": None,
-            }
-            # Metadata is durable in MongoDB BEFORE the request is
-            # acknowledged — submitted jobs are never lost.
-            yield from self.mongo.insert_one("jobs", document, ctx=span.context)
-            yield from self.metering.record_submission(tenant, manifest.total_gpus)
+            # Quota/fair-queue gate: raises QuotaExceeded, or returns
+            # holding one reservation that the finally below settles
+            # once the job document is durable (or the insert failed).
+            yield from self.admission.admit_submission(tenant)
+            try:
+                seq = yield from self._next_sequence()
+                job_id = f"job-{seq:05d}"
+                span.set_attribute("job", job_id)
+                self.platform.tracer.bind(("job", job_id), span.context)
+                document = {
+                    "job_id": job_id,
+                    "tenant": tenant,
+                    "name": manifest.name,
+                    "manifest": manifest.to_dict(),
+                    "status": QUEUED,
+                    "status_history": [{"status": QUEUED,
+                                        "time": self.kernel.now}],
+                    "created_at": self.kernel.now,
+                    "completed_at": None,
+                }
+                # Metadata is durable in MongoDB BEFORE the request is
+                # acknowledged — submitted jobs are never lost.
+                yield from self.mongo.insert_one("jobs", document,
+                                                 ctx=span.context)
+                yield from self.metering.record_submission(
+                    tenant, manifest.total_gpus)
+            finally:
+                self.admission.settle(tenant)
 
             # Best-effort LCM notify; the reconcile loop is the safety net.
             try:

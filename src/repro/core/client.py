@@ -15,13 +15,16 @@ class DlaasClient:
     """Handle for one tenant's interactions with the platform."""
 
     def __init__(self, platform, token, rpc_retries=6, rpc_backoff=0.25,
-                 rpc_deadline=5.0):
+                 rpc_deadline=5.0, route_key=None):
         self.platform = platform
         self.kernel = platform.kernel
         self.token = token
+        # With ring routing the tenant rides as the affinity key, so
+        # every call of this client lands on the tenant's API replica.
         self._rpc = Client(self.kernel, platform.network, platform.api_balancer,
                            caller=f"client-{token}", retries=rpc_retries,
-                           retry_backoff=rpc_backoff, deadline=rpc_deadline)
+                           retry_backoff=rpc_backoff, deadline=rpc_deadline,
+                           route_key=route_key)
 
     def _call(self, method, **payload):
         payload["token"] = self.token

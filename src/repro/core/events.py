@@ -56,6 +56,12 @@ REASONS = frozenset({
     # LCM
     "GuardianCreated",
     "GuardianCollected",
+    # Partitioned LCM pool (repro.core.partitions)
+    "SliceAssigned",
+    "SliceAdopted",
+    # Admission control (repro.core.admission)
+    "TenantThrottled",
+    "AdmissionSaturated",
     # Core-service pods
     "ComponentReady",
     "ComponentStopped",

@@ -26,7 +26,6 @@ from ..cluster import (
     RESTART_ALWAYS,
     StatefulSet,
 )
-from ..docstore import MongoClient
 from ..raftkv import EtcdClient
 from ..sim import Reconciler
 from . import layout
@@ -100,9 +99,8 @@ class Guardian:
         self.etcd = EtcdClient(self.kernel, platform.network, platform.etcd,
                                client_id=f"guardian-{job_id}-{ctx.pod.metadata.uid}",
                                history=platform.history)
-        self.mongo = MongoClient(self.kernel, platform.network, platform.mongo,
-                                 caller=f"guardian-{job_id}",
-                                 tracer=platform.tracer)
+        self.mongo = platform.mongo_client(f"guardian-{job_id}",
+                                           tracer=platform.tracer)
         self.manifest = None
         self.span = None
         self._last_reports = []

@@ -12,8 +12,8 @@ no in-memory state it cannot rebuild.
 """
 
 from ..cluster import ContainerSpec, Job, PodSpec, PodTemplate, RESTART_NEVER
-from ..docstore import MongoClient
-from ..grpcnet import Server
+from ..grpcnet import Client, Server
+from ..grpcnet.errors import RpcError
 from ..raftkv import EtcdClient
 from ..sim import Reconciler, WatchSource
 from . import layout
@@ -28,20 +28,47 @@ class LcmService:
         self.platform = platform
         self.kernel = platform.kernel
         self.address = address
-        self.mongo = MongoClient(self.kernel, platform.network, platform.mongo,
-                                 caller=address, tracer=platform.tracer)
+        self.mongo = platform.mongo_client(address, tracer=platform.tracer)
         self.etcd = EtcdClient(self.kernel, platform.network, platform.etcd,
                                client_id=address, history=platform.history)
         self.server = Server(self.kernel, platform.network, address)
         self.server.add_method("deploy_job", self._on_deploy_job)
         self.server.add_method("kill_job", self._on_kill_job)
+        # Partitioned pool (lcm_slices > 0): this instance deploys/GCs
+        # only the job-id slices it holds raftkv leases on.
+        if platform.config.lcm_slices > 0:
+            from .partitions import SliceManager
+
+            self.slices = SliceManager(platform, address, self.etcd)
+        else:
+            self.slices = None
 
     # ------------------------------------------------------------------
     # RPC handlers
     # ------------------------------------------------------------------
 
     def _on_deploy_job(self, request):
-        deployed = yield from self.deploy_job(request["job_id"])
+        job_id = request["job_id"]
+        # Partitioned pool: a notify that lands on the wrong partition
+        # (round-robin balancer, stale ring) is forwarded to the slice
+        # owner once. If the owner is unknown or unreachable we deploy
+        # locally anyway — the Mongo QUEUED->DEPLOYING claim keeps
+        # concurrent deploys exactly-once, so misrouting costs at most
+        # a wasted claim attempt, never a duplicate Guardian.
+        if (self.slices is not None and not request.get("forwarded")
+                and not self.slices.owns(job_id)):
+            owner = self.slices.owner_of(job_id)
+            if owner is not None and owner != self.address:
+                forward = Client(self.kernel, self.platform.network, owner,
+                                 caller=self.address, retries=0)
+                try:
+                    response = yield from forward.call(
+                        "deploy_job", {"job_id": job_id, "forwarded": True},
+                        deadline=1.0)
+                    return response
+                except RpcError:
+                    pass  # owner down; fall through to the local path
+        deployed = yield from self.deploy_job(job_id)
         return {"deployed": deployed}
 
     def _on_kill_job(self, request):
@@ -138,7 +165,13 @@ class LcmService:
         def list_queued():
             docs = yield from self.mongo.find("jobs", {"status": QUEUED},
                                               projection=["job_id"])
-            return [doc["job_id"] for doc in docs]
+            ids = [doc["job_id"] for doc in docs]
+            if self.slices is not None:
+                # Partitioned pool: resync only the owned slices. An
+                # orphaned slice is invisible to everyone for at most
+                # one lease TTL + tick, then its adopter relists it.
+                ids = [job_id for job_id in ids if self.slices.owns(job_id)]
+            return ids
 
         tracer = self.platform.tracer
         reconciler = Reconciler(
@@ -162,13 +195,18 @@ class LcmService:
         resync covering events lost across an LCM restart."""
         api = self.platform.k8s.api
 
+        def owned(dlaas_job):
+            return self.slices is None or self.slices.owns(dlaas_job)
+
         def job_names():
             return [job.metadata.name for job in api.list("Job")
-                    if job.metadata.labels.get("dlaas-job")]
+                    if job.metadata.labels.get("dlaas-job")
+                    and owned(job.metadata.labels["dlaas-job"])]
 
         def keys_of(event):
             _etype, resource = event
-            if resource.metadata.labels.get("dlaas-job") is None:
+            dlaas_job = resource.metadata.labels.get("dlaas-job")
+            if dlaas_job is None or not owned(dlaas_job):
                 return ()
             return (resource.metadata.name,)
 

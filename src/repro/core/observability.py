@@ -54,10 +54,7 @@ class ClusterMonitor:
         return self
 
     def _loop(self):
-        from ..docstore import MongoClient
-
-        mongo = MongoClient(self.kernel, self.platform.network,
-                            self.platform.mongo, caller="cluster-monitor")
+        mongo = self.platform.mongo_client("cluster-monitor")
         while self.running:
             capacity = self.platform.k8s.capacity_summary()
             pods = self.platform.k8s.api.list("Pod")

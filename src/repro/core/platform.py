@@ -187,6 +187,44 @@ class PlatformConfig:
     shards: int = 1
     shard_link_latency: float = 0.25
 
+    # Sharded control plane (ISSUE 10): every knob defaults to the
+    # unsharded platform, and with the defaults none of the sharding
+    # machinery runs a single extra simulation event — the timeline is
+    # bit-identical to the pre-sharding tree (gated by the perf-smoke
+    # digest in bench_scalability.py --check).
+    #
+    # api_ring_routing: the dlaas-api balancer grows a consistent-hash
+    # ring and clients route by tenant, so one tenant's requests (and
+    # its admission state) land on one replica with stable fail-over.
+    api_ring_routing: bool = False
+    # mongo_shards: N independent replica sets; ``jobs``/``models``
+    # documents are hash-placed by their id, point ops hit one shard,
+    # cross-shard queries scatter-gather (repro.docstore.sharding).
+    mongo_shards: int = 1
+    # lcm_slices: partition the job-id space into this many slices;
+    # each LCM instance leases a subset via raftkv (TTL below) and
+    # deploys/GCs only its own slice. A crashed partition's leases
+    # expire and a survivor adopts the orphaned slice. 0 = every LCM
+    # sees every job (today's behaviour).
+    lcm_slices: int = 0
+    lcm_lease_ttl: float = 3.0
+    lcm_slice_tick: float = 0.5  # keepalive + claim-reconcile cadence
+
+    # Admission control at the API tier (per-tenant isolation). The
+    # token-bucket rate limit above (api_rate_limit/burst) is already
+    # per tenant; these add a concurrent-job quota and a weighted-fair
+    # queue for over-quota submissions. 0 quota = unlimited (off).
+    tenant_quota_jobs: int = 0
+    # Over-quota submissions: with a queue limit, up to this many per
+    # tenant wait in the fair queue (granted in weighted deficit
+    # round-robin order as capacity frees); 0 = reject immediately.
+    admission_queue_limit: int = 0
+    # Cap on queue wait — must stay under the client RPC deadline
+    # (5 s) or a queued submit turns into client retry + duplicate.
+    admission_max_wait: float = 3.0
+    admission_pump_interval: float = 0.1
+    tenant_weights: dict = None  # tenant -> fair-share weight (default 1)
+
     image_sizes: dict = field(default_factory=lambda: {
         "dlaas/api": 60.0,
         "dlaas/lcm": 55.0,
@@ -240,12 +278,27 @@ class DlaasPlatform:
         self.etcd = EtcdCluster(self.kernel, self.network,
                                 size=self.config.etcd_size,
                                 metrics=self.metrics, events=self.events)
-        self.mongo = MongoReplicaSet(self.kernel, self.network,
-                                     size=self.config.mongo_size,
-                                     events=self.events,
-                                     fast_path=self.config.sim_fast_path)
+        # mongo_shards=1 keeps the plain replica set (no shard-set
+        # object at all); sharded platforms expose shard 0 as
+        # ``self.mongo`` so member-level hooks (chaos, flusher, health)
+        # keep their classic ``mongo-<i>`` targets.
+        if self.config.mongo_shards > 1:
+            from ..docstore import MongoShardSet
+
+            self.mongo_shard_set = MongoShardSet(
+                self.kernel, self.network, shards=self.config.mongo_shards,
+                size=self.config.mongo_size, events=self.events,
+                fast_path=self.config.sim_fast_path)
+            self.mongo = self.mongo_shard_set.shards[0]
+        else:
+            self.mongo_shard_set = None
+            self.mongo = MongoReplicaSet(self.kernel, self.network,
+                                         size=self.config.mongo_size,
+                                         events=self.events,
+                                         fast_path=self.config.sim_fast_path)
         self.tokens = TokenRegistry()
-        self.api_balancer = LoadBalancer("dlaas-api")
+        self.api_balancer = LoadBalancer("dlaas-api",
+                                         ring=self.config.api_ring_routing)
         self.lcm_balancer = LoadBalancer("dlaas-lcm")
         # The serving data plane is platform-owned (it outlives manager
         # pods) and exists only when the subsystem is enabled — with the
@@ -318,7 +371,10 @@ class DlaasPlatform:
         self._started = True
         self.k8s.start()
         self.etcd.start()
-        self.mongo.start()
+        if self.mongo_shard_set is not None:
+            self.mongo_shard_set.start()
+        else:
+            self.mongo.start()
         self._create_indexes()
         self._deploy_core_services()
         if self.monitoring is not None:
@@ -329,8 +385,12 @@ class DlaasPlatform:
 
     def _create_indexes(self):
         # Bootstrap-time schema setup, directly on the primary (the
-        # replication stream mirrors collections created later).
-        for member in self.mongo.members.values():
+        # replication stream mirrors collections created later). With
+        # docstore sharding every shard gets the same schema.
+        members = (list(self.mongo_shard_set.all_members())
+                   if self.mongo_shard_set is not None
+                   else self.mongo.members.values())
+        for member in members:
             jobs = member.database.collection("jobs")
             jobs.create_index("job_id", unique=True)
             # Secondary equality indexes on the fields the LCM resync
@@ -420,9 +480,26 @@ class DlaasPlatform:
             autoscaler.start()
         return autoscaler
 
+    def mongo_client(self, caller, tracer=None, **kwargs):
+        """A docstore client for ``caller`` — shard-routing when the
+        platform runs with ``mongo_shards > 1``, the classic replica-set
+        client otherwise. Every component goes through this factory so
+        the two topologies are interchangeable."""
+        if self.mongo_shard_set is not None:
+            from ..docstore import ShardedMongoClient
+
+            return ShardedMongoClient(self.kernel, self.network,
+                                      self.mongo_shard_set, caller=caller,
+                                      tracer=tracer, **kwargs)
+        from ..docstore import MongoClient
+
+        return MongoClient(self.kernel, self.network, self.mongo,
+                           caller=caller, tracer=tracer, **kwargs)
+
     def client(self, tenant="default"):
         token = self.tokens.create_tenant(tenant)
-        return DlaasClient(self, token)
+        route_key = tenant if self.config.api_ring_routing else None
+        return DlaasClient(self, token, route_key=route_key)
 
     def monitor(self, interval=5.0):
         """Start a :class:`ClusterMonitor` sampling utilization."""
@@ -436,10 +513,7 @@ class DlaasPlatform:
         Uses the document store's aggregation pipeline: jobs by tenant
         and status, plus total GPU-seconds from metering.
         """
-        from ..docstore import MongoClient
-
-        mongo = MongoClient(self.kernel, self.network, self.mongo,
-                            caller="admin-report")
+        mongo = self.mongo_client("admin-report")
         jobs = yield from mongo.aggregate("jobs", [
             {"$group": {"_id": "$tenant",
                         "jobs": {"$count": 1},

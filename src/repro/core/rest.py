@@ -14,6 +14,7 @@ from .errors import (
     InvalidManifest,
     JobNotFound,
     ModelNotFound,
+    QuotaExceeded,
     RateLimited,
     ServingDisabled,
 )
@@ -40,6 +41,7 @@ _ROUTES = (
 _STATUS_FOR = (
     (AuthError, 401),
     (RateLimited, 429),
+    (QuotaExceeded, 429),
     (InvalidManifest, 400),
     (JobNotFound, 404),
     (ModelNotFound, 404),

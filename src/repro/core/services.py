@@ -101,6 +101,8 @@ def make_lcm_workload(platform):
         try:
             service.server.start()
             platform.lcm_balancer.add(address)
+            if service.slices is not None:
+                service.slices.start()
             deploy = service.make_deploy_reconciler().start()
             gc = service.make_gc_reconciler().start()
             platform.tracer.emit("lcm", "component-ready", pod=ctx.pod.metadata.name)
@@ -116,6 +118,11 @@ def make_lcm_workload(platform):
             # a crashed LCM must not leak watch channels.
             platform.lcm_balancer.remove(address)
             service.server.stop()
+            if service.slices is not None:
+                # The claim loop dies with the pod; the slice leases
+                # are left to TTL-expire, which is exactly the crash
+                # path the survivors' adoption logic covers.
+                service.slices.stop()
             if deploy is not None:
                 deploy.stop()
             if gc is not None:

@@ -13,6 +13,7 @@ from .errors import DocstoreError, DuplicateKeyError, InvalidQuery, InvalidUpdat
 from .objectid import ObjectId
 from .query import matches
 from .service import MongoClient, MongoMember, MongoReplicaSet
+from .sharding import SHARD_KEYS, MongoShardSet, ShardedMongoClient, shard_index
 from .update import apply_update, is_update_document
 
 __all__ = [
@@ -25,10 +26,14 @@ __all__ = [
     "MongoClient",
     "MongoMember",
     "MongoReplicaSet",
+    "MongoShardSet",
     "NoPrimary",
     "ObjectId",
+    "SHARD_KEYS",
+    "ShardedMongoClient",
     "aggregate",
     "apply_update",
     "is_update_document",
     "matches",
+    "shard_index",
 ]

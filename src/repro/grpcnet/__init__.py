@@ -9,11 +9,13 @@ real system).
 
 from .client import Client, LoadBalancer
 from .errors import DeadlineExceeded, MethodNotFound, RpcError, ServiceError, Unavailable
+from .hashring import ConsistentHashRing, stable_hash
 from .network import LatencyModel, Network
 from .server import Server
 
 __all__ = [
     "Client",
+    "ConsistentHashRing",
     "DeadlineExceeded",
     "LatencyModel",
     "LoadBalancer",
@@ -23,4 +25,5 @@ __all__ = [
     "Server",
     "ServiceError",
     "Unavailable",
+    "stable_hash",
 ]

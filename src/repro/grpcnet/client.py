@@ -9,38 +9,63 @@ address directly).
 
 from ..sim.tracing import inject_context
 from .errors import DeadlineExceeded, Unavailable
+from .hashring import ConsistentHashRing
 
 
 class LoadBalancer:
-    """Round-robin resolver over a mutable endpoint set."""
+    """Round-robin resolver over a mutable endpoint set.
 
-    def __init__(self, name, endpoints=()):
+    With ``ring=True`` the balancer also maintains a
+    :class:`~repro.grpcnet.hashring.ConsistentHashRing` over its
+    endpoints; keyed picks (``pick_order(key=...)``) then return the
+    ring order for the key — owner first, successors after, so a
+    down owner fails over to a *stable* successor instead of a
+    rotating one. Un-keyed picks stay round-robin either way, which
+    keeps every existing call path bit-identical.
+    """
+
+    def __init__(self, name, endpoints=(), ring=False, vnodes=64):
         self.name = name
         self._endpoints = list(endpoints)
         self._cursor = 0
+        self._ring = ConsistentHashRing(self._endpoints,
+                                        vnodes=vnodes) if ring else None
 
     def add(self, address):
         if address not in self._endpoints:
             self._endpoints.append(address)
+            if self._ring is not None:
+                self._ring.add(address)
 
     def remove(self, address):
         try:
             self._endpoints.remove(address)
         except ValueError:
             pass
+        if self._ring is not None:
+            self._ring.remove(address)
 
     @property
     def endpoints(self):
         return tuple(self._endpoints)
 
-    def pick_order(self):
-        """Endpoints to try for one call, round-robin rotated.
+    @property
+    def ring(self):
+        return self._ring
 
-        Returning the full rotation (not a single endpoint) lets the
-        client fail over to the next instance when one is down.
+    def pick_order(self, key=None):
+        """Endpoints to try for one call.
+
+        Returning the full candidate list (not a single endpoint) lets
+        the client fail over to the next instance when one is down.
+        Without a key (or without a ring) the list is the round-robin
+        rotation; with both, it is the consistent-hash ring order so
+        the same key always lands on the same live replica.
         """
         if not self._endpoints:
             return []
+        if key is not None and self._ring is not None and len(self._ring):
+            return self._ring.ordered(key)
         start = self._cursor % len(self._endpoints)
         self._cursor += 1
         return self._endpoints[start:] + self._endpoints[:start]
@@ -55,7 +80,8 @@ class Client:
     """
 
     def __init__(self, kernel, network, target, caller="client",
-                 retries=3, retry_backoff=0.05, deadline=None):
+                 retries=3, retry_backoff=0.05, deadline=None,
+                 route_key=None):
         if retries < 0:
             raise ValueError("retries must be >= 0")
         self.kernel = kernel
@@ -65,10 +91,13 @@ class Client:
         self.retries = retries
         self.retry_backoff = retry_backoff
         self.deadline = deadline
+        # Affinity key for ring-mode balancers (e.g. the tenant name):
+        # all of this client's calls stick to the key's ring owner.
+        self.route_key = route_key
 
     def _candidates(self):
         if isinstance(self.target, LoadBalancer):
-            return self.target.pick_order()
+            return self.target.pick_order(key=self.route_key)
         return [self.target]
 
     def call(self, method, request=None, deadline=None, ctx=None):

@@ -432,6 +432,17 @@ def default_rule_pack(config):
             description="an endpoint's write/replication latency diverges "
                         "from its role peers (stalling disk under a "
                         "member that still answers reads)"))
+    if getattr(config, "admission_queue_limit", 0) > 0:
+        # A tenant pinned at its admission-queue limit means quota
+        # capacity is not freeing fast enough for its offered load;
+        # sustained saturation turns queue waits into 429s.
+        rules.append(AlertRule(
+            "AdmissionSaturated",
+            Metric("admission_queue_depth") >= config.admission_queue_limit,
+            for_=service_for, severity="warning",
+            description="a tenant's admission queue is pinned at its "
+                        "limit; over-quota submissions are being "
+                        "rejected instead of queued"))
     if getattr(config, "history_recording", False):
         # The consistency auditor latches one counter bump per
         # non-linearizable key; any bump at all is a platform-integrity

@@ -211,13 +211,22 @@ def register_platform_probes(platform, registry):
                           + ("" if has_leader else ", no leader")}
 
     def mongo_check():
-        members = platform.mongo.members
-        alive = sum(1 for m in members.values() if m.alive)
-        has_primary = platform.mongo.primary_id() is not None
-        return {"live": has_primary,
-                "ready": alive == len(members) and has_primary,
-                "detail": f"{alive}/{len(members)} members alive"
-                          + ("" if has_primary else ", no primary")}
+        # With docstore sharding, every shard must have a primary for
+        # the store to be live (each owns part of the key space).
+        shard_sets = ([shard for shard in platform.mongo_shard_set.shards]
+                      if getattr(platform, "mongo_shard_set", None) is not None
+                      else [platform.mongo])
+        alive = total = 0
+        primaries = 0
+        for shard in shard_sets:
+            alive += sum(1 for m in shard.members.values() if m.alive)
+            total += len(shard.members)
+            primaries += 1 if shard.primary_id() is not None else 0
+        all_primaried = primaries == len(shard_sets)
+        return {"live": all_primaried,
+                "ready": alive == total and all_primaried,
+                "detail": f"{alive}/{total} members alive, "
+                          f"{primaries}/{len(shard_sets)} shards primaried"}
 
     def nfs_check():
         up = platform.nfs.available

@@ -67,11 +67,19 @@ class EtcdClient:
             self.history.mark_prefix(prefix)
         return self._propose({"op": "delete_prefix", "prefix": prefix})
 
-    def cas(self, key, expected, value):
-        """Compare-and-swap; returns the state-machine result dict."""
-        return self._propose({"op": "cas", "key": key, "expected": expected,
-                              "value": value},
-                             record=("cas", key, (expected, value)))
+    def cas(self, key, expected, value, lease=None):
+        """Compare-and-swap; returns the state-machine result dict.
+
+        With ``lease`` the winning swap atomically attaches the key to
+        that lease, so a claimed key disappears when its claimant's
+        lease expires — the slice-ownership primitive."""
+        command = {"op": "cas", "key": key, "expected": expected,
+                   "value": value}
+        if lease is not None:
+            command["lease"] = lease
+            if self.history is not None:
+                self.history.mark_leased(key)
+        return self._propose(command, record=("cas", key, (expected, value)))
 
     def lease_grant(self, lease_id, ttl):
         return self._propose({"op": "lease_grant", "lease_id": lease_id,

@@ -118,7 +118,10 @@ class KvStateMachine:
         actual = self.data.get(key)
         if actual != command["expected"]:
             return {"ok": False, "actual": actual, "revision": self.revision}
-        return self._apply_put({"key": key, "value": command["value"]})
+        # A cas may attach the key to a lease (slice-ownership claims):
+        # winning the swap and binding the lease is one atomic command.
+        return self._apply_put({"key": key, "value": command["value"],
+                                "lease": command.get("lease")})
 
     def _apply_lease_grant(self, command):
         lease_id, ttl, now = command["lease_id"], command["ttl"], command["now"]

@@ -14,7 +14,6 @@ delays convergence by at most one resync interval.
 """
 
 from ..cluster import ContainerSpec, Deployment, PodSpec, PodTemplate, RESTART_ALWAYS
-from ..docstore import MongoClient
 from ..frameworks import get_framework
 from ..grpcnet import Server
 from ..sim import Reconciler, WatchSource
@@ -38,8 +37,7 @@ class ServingManager:
         self.platform = platform
         self.kernel = platform.kernel
         self.address = address
-        self.mongo = MongoClient(self.kernel, platform.network, platform.mongo,
-                                 caller=address, tracer=platform.tracer)
+        self.mongo = platform.mongo_client(address, tracer=platform.tracer)
         self.server = Server(self.kernel, platform.network, address)
         self.server.add_method("reconcile_model", self._on_reconcile_model)
 

@@ -1,0 +1,239 @@
+"""Admission control: rate metrics, quotas, and the fair queue.
+
+Unit-level: drives an :class:`AdmissionController` directly on a live
+platform (real kernel, mongo, metrics, events) so reservations, queue
+waits, and pump grants run against the genuine machinery without going
+through the RPC surface.
+"""
+
+import pytest
+
+from repro import DlaasPlatform
+from repro.core import PlatformConfig
+from repro.core.api import ApiService
+from repro.core.errors import QuotaExceeded, RateLimited
+from repro.core.states import COMPLETED, QUEUED
+
+
+def make_platform(**overrides):
+    defaults = dict(gpu_nodes=1, gpus_per_node=2, management_nodes=1)
+    defaults.update(overrides)
+    platform = DlaasPlatform(seed=31, config=PlatformConfig(**defaults))
+    platform.start()
+    return platform
+
+
+def make_controller(**overrides):
+    platform = make_platform(**overrides)
+    api = ApiService(platform, "api:unit-test")
+    return platform, api.admission
+
+
+def seed_active_jobs(platform, admission, tenant, count):
+    def inserts():
+        for i in range(count):
+            yield from admission.mongo.insert_one("jobs", {
+                "job_id": f"seed-{tenant}-{i:03d}",
+                "tenant": tenant,
+                "status": QUEUED,
+            })
+    platform.run_process(inserts(), limit=600)
+
+
+class TestCallGate:
+    def test_requests_counted_per_tenant_and_method(self):
+        platform, admission = make_controller()
+        admission.check_call("team-a", "submit")
+        admission.check_call("team-a", "submit")
+        admission.check_call("team-b", "status")
+        counter = platform.metrics.get("api_requests_total")
+        assert counter.labels(tenant="team-a", method="submit").value == 2
+        assert counter.labels(tenant="team-b", method="status").value == 1
+
+    def test_rate_rejection_instrumented(self):
+        platform, admission = make_controller(api_rate_limit=1.0,
+                                              api_rate_burst=2.0)
+        admission.check_call("greedy", "list_jobs")
+        admission.check_call("greedy", "list_jobs")
+        with pytest.raises(RateLimited):
+            admission.check_call("greedy", "list_jobs")
+        rejected = platform.metrics.get("admission_rejected_total")
+        assert rejected.labels(tenant="greedy", reason="rate").value == 1
+        assert platform.events.events(reason="TenantThrottled")
+
+
+class TestQuota:
+    def test_disabled_quota_admits_without_yielding(self):
+        _platform, admission = make_controller()  # tenant_quota_jobs=0
+        gen = admission.admit_submission("team-a")
+        with pytest.raises(StopIteration):
+            next(gen)  # returns immediately: zero kernel events
+        admission.settle("team-a")  # harmless no-op when nothing held
+
+    def test_admit_reserves_and_settle_releases(self):
+        platform, admission = make_controller(tenant_quota_jobs=2)
+
+        def scenario():
+            yield from admission.admit_submission("team-a")
+        platform.run_process(scenario(), limit=600)
+        assert admission._reserved["team-a"] == 1
+        admission.settle("team-a")
+        assert "team-a" not in admission._reserved
+
+    def test_over_quota_rejected_without_queue(self):
+        platform, admission = make_controller(tenant_quota_jobs=2)
+        seed_active_jobs(platform, admission, "team-a", 2)
+
+        def scenario():
+            yield from admission.admit_submission("team-a")
+        with pytest.raises(QuotaExceeded) as info:
+            platform.run_process(scenario(), limit=600)
+        assert info.value.reason == "quota"
+        rejected = platform.metrics.get("admission_rejected_total")
+        assert rejected.labels(tenant="team-a", reason="quota").value == 1
+
+    def test_quota_counts_only_nonterminal_jobs(self):
+        platform, admission = make_controller(tenant_quota_jobs=2)
+        seed_active_jobs(platform, admission, "team-a", 1)
+
+        def finish_and_admit():
+            yield from admission.mongo.insert_one("jobs", {
+                "job_id": "seed-done", "tenant": "team-a",
+                "status": COMPLETED,
+            })
+            yield from admission.admit_submission("team-a")
+            return True
+        assert platform.run_process(finish_and_admit(), limit=600)
+
+    def test_tenants_have_independent_quotas(self):
+        platform, admission = make_controller(tenant_quota_jobs=1)
+        seed_active_jobs(platform, admission, "team-a", 1)
+
+        def scenario():
+            yield from admission.admit_submission("team-b")
+            return True
+        assert platform.run_process(scenario(), limit=600)
+
+
+class TestFairQueue:
+    def test_queue_full_rejected(self):
+        platform, admission = make_controller(tenant_quota_jobs=1,
+                                              admission_queue_limit=1,
+                                              admission_max_wait=2.0)
+        seed_active_jobs(platform, admission, "team-a", 1)
+        outcomes = []
+
+        def submit():
+            try:
+                yield from admission.admit_submission("team-a")
+                outcomes.append("admitted")
+            except QuotaExceeded as exc:
+                outcomes.append(exc.reason)
+
+        def scenario():
+            platform.kernel.spawn(submit())
+            yield platform.kernel.sleep(0.01)  # first waiter is parked now
+            yield from admission.admit_submission("team-a")
+
+        with pytest.raises(QuotaExceeded) as info:
+            platform.run_process(scenario(), limit=600)
+        assert info.value.reason == "queue_full"
+
+        def drain():  # advance past the parked waiter's timeout
+            yield platform.kernel.sleep(3.0)
+        platform.run_process(drain(), limit=600)
+        assert outcomes == ["queue_timeout"]
+
+    def test_queue_timeout_when_no_capacity_frees(self):
+        platform, admission = make_controller(tenant_quota_jobs=1,
+                                              admission_queue_limit=4,
+                                              admission_max_wait=1.5)
+        seed_active_jobs(platform, admission, "team-a", 1)
+        start = platform.kernel.now
+
+        def scenario():
+            yield from admission.admit_submission("team-a")
+        with pytest.raises(QuotaExceeded) as info:
+            platform.run_process(scenario(), limit=600)
+        assert info.value.reason == "queue_timeout"
+        assert platform.kernel.now - start >= 1.5
+        assert admission.queue_depth("team-a") == 0
+
+    def test_waiter_granted_when_capacity_frees(self):
+        platform, admission = make_controller(tenant_quota_jobs=1,
+                                              admission_queue_limit=4,
+                                              admission_max_wait=3.0)
+        seed_active_jobs(platform, admission, "team-a", 1)
+
+        def release_soon():
+            yield platform.kernel.sleep(0.5)
+            yield from admission.mongo.update_one(
+                "jobs", {"job_id": "seed-team-a-000"},
+                {"$set": {"status": COMPLETED}})
+
+        def scenario():
+            start = platform.kernel.now
+            platform.kernel.spawn(release_soon())
+            yield from admission.admit_submission("team-a")
+            return platform.kernel.now - start
+
+        waited = platform.run_process(scenario(), limit=600)
+        assert 0.5 <= waited < 3.0
+        assert admission._reserved["team-a"] == 1  # grant carried the slot
+        assert admission.queue_depth("team-a") == 0
+        depth = platform.metrics.get("admission_queue_depth")
+        assert depth.labels(tenant="team-a").value == 0
+
+    def test_grants_respect_weights_under_contention(self):
+        # Two tenants, one shared pump: the heavy tenant (weight 3)
+        # should drain roughly three waiters for each of the light
+        # tenant's when both have capacity free at the same instant.
+        platform, admission = make_controller(
+            tenant_quota_jobs=4,
+            admission_queue_limit=8,
+            admission_max_wait=3.0,
+            tenant_weights={"heavy": 3.0, "light": 1.0})
+        seed_active_jobs(platform, admission, "heavy", 4)
+        seed_active_jobs(platform, admission, "light", 4)
+        order = []
+
+        def submit(tenant, i):
+            try:
+                yield from admission.admit_submission(tenant)
+                order.append((platform.kernel.now, tenant, i))
+            except QuotaExceeded:
+                pass
+
+        def release_all():
+            yield platform.kernel.sleep(0.3)
+            yield from admission.mongo.update_one(
+                "jobs", {"tenant": "heavy"}, {"$set": {"status": COMPLETED}})
+            yield from admission.mongo.update_one(
+                "jobs", {"tenant": "light"}, {"$set": {"status": COMPLETED}})
+
+        def scenario():
+            for i in range(3):
+                platform.kernel.spawn(submit("heavy", i))
+                platform.kernel.spawn(submit("light", i))
+            platform.kernel.spawn(release_all())
+            yield platform.kernel.sleep(5.0)
+
+        platform.run_process(scenario(), limit=600)
+        # One slot freed per tenant: exactly one waiter each admitted.
+        admitted = {tenant for _t, tenant, _i in order}
+        assert admitted == {"heavy", "light"}
+
+    def test_pump_exits_when_queues_drain(self):
+        platform, admission = make_controller(tenant_quota_jobs=1,
+                                              admission_queue_limit=2,
+                                              admission_max_wait=0.5)
+        seed_active_jobs(platform, admission, "team-a", 1)
+
+        def scenario():
+            try:
+                yield from admission.admit_submission("team-a")
+            except QuotaExceeded:
+                pass
+            yield platform.kernel.sleep(2.0)
+        platform.run_process(scenario(), limit=600)
+        assert admission._pump is None

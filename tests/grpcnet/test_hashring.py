@@ -1,0 +1,146 @@
+"""Unit tests for the consistent-hash ring (satellite 3 of ISSUE 10).
+
+Covers the three properties the sharded API tier depends on: stable
+assignment, bounded (≤ K/n-ish) key movement on replica add/remove,
+and deterministic routing with no dict-order dependence — the same
+ring built from a shuffled node list must route identically.
+"""
+
+import random
+import subprocess
+import sys
+
+from repro.grpcnet import ConsistentHashRing, LoadBalancer, stable_hash
+
+KEYS = [f"tenant-{i:04d}" for i in range(2000)]
+NODES = [f"api:dlaas-api-{i}" for i in range(1, 6)]
+
+
+class TestStableAssignment:
+    def test_same_key_same_owner(self):
+        ring = ConsistentHashRing(NODES)
+        for key in KEYS[:200]:
+            owners = {ring.owner(key) for _ in range(5)}
+            assert len(owners) == 1
+
+    def test_every_key_owned_by_member(self):
+        ring = ConsistentHashRing(NODES)
+        for key in KEYS:
+            assert ring.owner(key) in NODES
+
+    def test_distribution_is_roughly_even(self):
+        ring = ConsistentHashRing(NODES, vnodes=128)
+        counts = {node: 0 for node in NODES}
+        for key in KEYS:
+            counts[ring.owner(key)] += 1
+        expected = len(KEYS) / len(NODES)
+        for node, count in counts.items():
+            assert 0.5 * expected <= count <= 1.6 * expected, (node, counts)
+
+    def test_empty_ring(self):
+        ring = ConsistentHashRing()
+        assert ring.owner("anything") is None
+        assert ring.ordered("anything") == []
+
+    def test_ordered_starts_with_owner_and_covers_all(self):
+        ring = ConsistentHashRing(NODES)
+        for key in KEYS[:100]:
+            order = ring.ordered(key)
+            assert order[0] == ring.owner(key)
+            assert sorted(order) == sorted(NODES)
+
+
+class TestBoundedMovement:
+    def test_add_moves_at_most_slice(self):
+        ring = ConsistentHashRing(NODES, vnodes=128)
+        before = ring.assignments(KEYS)
+        ring.add("api:dlaas-api-6")
+        after = ring.assignments(KEYS)
+        moved = [k for k in KEYS if before[k] != after[k]]
+        # Ideal movement is K/(n+1); allow 2x slack for vnode variance.
+        assert len(moved) <= 2 * len(KEYS) / 6, len(moved)
+        # Every moved key moved TO the new node, never between old ones.
+        assert all(after[k] == "api:dlaas-api-6" for k in moved)
+
+    def test_remove_moves_only_victims_keys(self):
+        ring = ConsistentHashRing(NODES, vnodes=128)
+        before = ring.assignments(KEYS)
+        ring.remove(NODES[2])
+        after = ring.assignments(KEYS)
+        moved = [k for k in KEYS if before[k] != after[k]]
+        assert moved == [k for k in KEYS if before[k] == NODES[2]]
+        assert len(moved) <= 2 * len(KEYS) / len(NODES), len(moved)
+
+    def test_add_then_remove_is_identity(self):
+        ring = ConsistentHashRing(NODES)
+        before = ring.assignments(KEYS)
+        ring.add("api:dlaas-api-9")
+        ring.remove("api:dlaas-api-9")
+        assert ring.assignments(KEYS) == before
+
+
+class TestDeterminism:
+    def test_insertion_order_irrelevant(self):
+        shuffled = list(NODES)
+        random.Random(7).shuffle(shuffled)
+        a = ConsistentHashRing(NODES)
+        b = ConsistentHashRing(shuffled)
+        assert a.assignments(KEYS) == b.assignments(KEYS)
+        for key in KEYS[:50]:
+            assert a.ordered(key) == b.ordered(key)
+
+    def test_stable_hash_is_sha256_derived(self):
+        # builtin hash() is salted per process; stable_hash must not be.
+        import hashlib
+        digest = hashlib.sha256(b"tenant-a").digest()
+        assert stable_hash("tenant-a") == int.from_bytes(digest[:8], "big")
+
+    def test_routing_identical_across_processes(self):
+        # A child interpreter (fresh hash salt) must route identically.
+        script = (
+            "import sys; sys.path.insert(0, 'src')\n"
+            "from repro.grpcnet import ConsistentHashRing\n"
+            "ring = ConsistentHashRing(["
+            + ", ".join(repr(n) for n in NODES)
+            + "])\n"
+            "print(';'.join(ring.owner(f'tenant-{i:04d}') "
+            "for i in range(100)))\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", script], capture_output=True,
+            text=True, check=True, cwd="/root/repo",
+        ).stdout.strip()
+        ring = ConsistentHashRing(NODES)
+        local = ";".join(ring.owner(f"tenant-{i:04d}") for i in range(100))
+        assert out == local
+
+
+class TestRingBalancer:
+    def test_unkeyed_pick_stays_round_robin(self):
+        lb = LoadBalancer("api", endpoints=NODES, ring=True)
+        assert lb.pick_order() == NODES
+        assert lb.pick_order() == NODES[1:] + NODES[:1]
+
+    def test_keyed_pick_is_ring_order(self):
+        lb = LoadBalancer("api", endpoints=NODES, ring=True)
+        ring = ConsistentHashRing(NODES)
+        for key in KEYS[:50]:
+            assert lb.pick_order(key=key) == ring.ordered(key)
+
+    def test_keyed_pick_does_not_advance_cursor(self):
+        lb = LoadBalancer("api", endpoints=NODES, ring=True)
+        lb.pick_order(key="tenant-a")
+        assert lb.pick_order() == NODES
+
+    def test_ringless_balancer_ignores_key(self):
+        lb = LoadBalancer("api", endpoints=NODES)
+        assert lb.pick_order(key="tenant-a") == NODES
+
+    def test_membership_tracks_add_remove(self):
+        lb = LoadBalancer("api", endpoints=NODES[:2], ring=True)
+        lb.add(NODES[2])
+        assert sorted(lb.ring.nodes) == sorted(NODES[:3])
+        lb.remove(NODES[0])
+        assert sorted(lb.ring.nodes) == sorted(NODES[1:3])
+        for key in KEYS[:50]:
+            assert lb.pick_order(key=key)[0] in NODES[1:3]
